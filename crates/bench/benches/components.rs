@@ -1,0 +1,117 @@
+//! Criterion microbenchmarks of the simulator's hot components: these
+//! bound the cost of simulation itself (events/second), complementing the
+//! figure binaries that reproduce the paper's results.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pei_core::{DispatchPolicy, LocalityMonitor, PimDirectory};
+use pei_cpu::trace::{Op, VecPhases};
+use pei_engine::EventQueue;
+use pei_mem::{BackingStore, CacheArray, LineState};
+use pei_system::{MachineConfig, System};
+use pei_types::{Addr, BlockAddr, OperandValue, PimOpKind, ReqId};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("engine/event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule((i * 7919) % 1000, i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_cache_array(c: &mut Criterion) {
+    c.bench_function("mem/cache_array_probe_1k", |b| {
+        let mut arr = CacheArray::new(1024, 16);
+        for i in 0..8192u64 {
+            arr.insert(BlockAddr(i), LineState::Shared);
+        }
+        b.iter(|| {
+            let mut hits = 0;
+            for i in 0..1000u64 {
+                if arr.lookup(BlockAddr(i * 13 % 16384)).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_pim_directory(c: &mut Criterion) {
+    c.bench_function("core/pim_directory_acquire_release_1k", |b| {
+        b.iter(|| {
+            let mut dir = PimDirectory::new(2048, false);
+            for i in 0..1000u64 {
+                dir.acquire(ReqId(i), BlockAddr(i % 512), i % 3 == 0);
+            }
+            for i in 0..1000u64 {
+                black_box(dir.release(ReqId(i)));
+            }
+        })
+    });
+}
+
+fn bench_locality_monitor(c: &mut Criterion) {
+    c.bench_function("core/locality_monitor_mixed_1k", |b| {
+        let mut mon = LocalityMonitor::new(1024, 16, 10, false);
+        b.iter(|| {
+            let mut hits = 0;
+            for i in 0..1000u64 {
+                if i % 3 == 0 {
+                    mon.on_l3_access(BlockAddr(i % 4096));
+                } else if mon.query(BlockAddr(i % 4096)) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_pim_op_apply(c: &mut Criterion) {
+    c.bench_function("core/apply_fadd_1k", |b| {
+        let mut mem = BackingStore::new();
+        let a = mem.alloc_block();
+        b.iter(|| {
+            for _ in 0..1000 {
+                pei_core::ops::apply(PimOpKind::AddF64, a, &OperandValue::F64(0.5), &mut mem);
+            }
+            black_box(mem.read_f64(a))
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    c.bench_function("system/1k_pei_increments_end_to_end", |b| {
+        b.iter(|| {
+            let mut store = BackingStore::new();
+            let targets: Vec<Addr> = (0..256).map(|_| store.alloc_block()).collect();
+            let cfg = MachineConfig::scaled(DispatchPolicy::LocalityAware);
+            let mut sys = System::new(cfg, store);
+            let ops: Vec<Op> = (0..1000)
+                .map(|i| Op::pei(PimOpKind::IncU64, targets[i % 256], OperandValue::None))
+                .chain([Op::Pfence])
+                .collect();
+            sys.add_workload(Box::new(VecPhases::single(ops)), vec![0]);
+            black_box(sys.run(u64::MAX).cycles)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_cache_array,
+    bench_pim_directory,
+    bench_locality_monitor,
+    bench_pim_op_apply,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Ablation studies beyond the paper's explicit figures, probing the
+//! design choices DESIGN.md calls out:
+//!
+//! 1. PIM-directory size sweep (the paper fixes 2048 entries) — how much
+//!    false-positive serialization does a smaller directory cause?
+//! 2. Locality-monitor partial-tag width sweep (the paper fixes 10 bits).
+//! 3. The ignore-bit filter on/off (the paper motivates it qualitatively
+//!    in §4.3); "off" is approximated by an ideal monitor whose fresh
+//!    PIM-allocated entries are also first-hit-filtered, vs the real one.
+//!
+//! ```text
+//! cargo run -p pei-bench --release --bin ablations [-- --scale full]
+//! ```
+
+use pei_bench::{print_cols, print_row, print_title, ExpOptions, CYCLE_LIMIT};
+use pei_core::DispatchPolicy;
+use pei_system::System;
+use pei_workloads::{InputSize, Workload};
+
+fn run_cfg(
+    opts: &ExpOptions,
+    w: Workload,
+    size: InputSize,
+    f: impl FnOnce(&mut pei_system::MachineConfig),
+) -> pei_system::RunResult {
+    let params = opts.workload_params();
+    let (store, trace) = w.build(size, &params);
+    let mut cfg = opts.machine(DispatchPolicy::LocalityAware);
+    f(&mut cfg);
+    let mut sys = System::new(cfg, store);
+    sys.add_workload(trace, (0..cfg.cores).collect());
+    sys.run(CYCLE_LIMIT)
+}
+
+fn main() {
+    let opts = ExpOptions::from_args();
+
+    print_title("Ablation 0 — DRAM policies (PR large, PIM-Only, cycles vs default)");
+    print_cols("variant", &["cycles_norm", "row_hit%", "refresh_delays"]);
+    let dram_base = {
+        let params = opts.workload_params();
+        let (store, trace) = Workload::Pr.build(InputSize::Large, &params);
+        let cfg = opts.machine(pei_core::DispatchPolicy::PimOnly);
+        let mut sys = System::new(cfg, store);
+        sys.add_workload(trace, (0..cfg.cores).collect());
+        sys.run(CYCLE_LIMIT)
+    };
+    for (name, page_closed, refresh) in [
+        ("open+refresh", false, true),
+        ("open, no refresh", false, false),
+        ("closed+refresh", true, true),
+    ] {
+        let params = opts.workload_params();
+        let (store, trace) = Workload::Pr.build(InputSize::Large, &params);
+        let mut cfg = opts.machine(pei_core::DispatchPolicy::PimOnly);
+        if page_closed {
+            cfg.hmc.page_policy = pei_hmc::PagePolicy::Closed;
+        }
+        if !refresh {
+            cfg.hmc.refresh = None;
+        }
+        let mut sys = System::new(cfg, store);
+        sys.add_workload(trace, (0..cfg.cores).collect());
+        let r = sys.run(CYCLE_LIMIT);
+        let hits = r.stats.expect("dram.row_hits");
+        print_row(
+            name,
+            &[
+                r.cycles as f64 / dram_base.cycles as f64,
+                100.0 * hits / r.dram_accesses as f64,
+                r.stats.expect("dram.refresh_delays"),
+            ],
+        );
+    }
+
+    print_title("Ablation 1 — PIM-directory entries (PR medium, cycles vs 2048)");
+    print_cols("entries", &["cycles_norm", "queued", "peak_q"]);
+    let base = run_cfg(&opts, Workload::Pr, InputSize::Medium, |_| {});
+    for entries in [64usize, 256, 1024, 2048, 8192] {
+        let r = run_cfg(&opts, Workload::Pr, InputSize::Medium, |c| {
+            c.dir_entries = entries;
+        });
+        print_row(
+            &entries.to_string(),
+            &[
+                r.cycles as f64 / base.cycles as f64,
+                r.stats.expect("pmu.dir.queued"),
+                r.stats.expect("pmu.dir.peak_queue"),
+            ],
+        );
+    }
+
+    print_title("Ablation 2 — locality-monitor partial-tag bits (PR medium)");
+    print_cols("tag_bits", &["cycles_norm", "aliases", "pim%"]);
+    for bits in [4u32, 6, 8, 10, 14] {
+        let r = run_cfg(&opts, Workload::Pr, InputSize::Medium, |c| {
+            c.mon_tag_bits = bits;
+        });
+        print_row(
+            &bits.to_string(),
+            &[
+                r.cycles as f64 / base.cycles as f64,
+                r.stats.expect("pmu.mon.partial_tag_aliases"),
+                100.0 * r.pim_fraction,
+            ],
+        );
+    }
+
+    print_title("Ablation 3 — ignore bit on/off (Locality-Aware, several workloads)");
+    print_cols(
+        "workload",
+        &["with(cyc)", "without/with", "pim%with", "pim%without"],
+    );
+    for (w, size) in [
+        (Workload::Atf, InputSize::Small),
+        (Workload::Pr, InputSize::Medium),
+        (Workload::Sc, InputSize::Large),
+        (Workload::Hj, InputSize::Medium),
+    ] {
+        let on = run_cfg(&opts, w, size, |_| {});
+        let off = run_cfg(&opts, w, size, |c| c.mon_ignore_bit = false);
+        print_row(
+            &format!("{w}-{}", size.label()),
+            &[
+                on.cycles as f64,
+                off.cycles as f64 / on.cycles as f64,
+                100.0 * on.pim_fraction,
+                100.0 * off.pim_fraction,
+            ],
+        );
+    }
+
+    print_title("Ablation 4 — monitor realism (real vs ideal full tags, several workloads)");
+    print_cols("workload", &["real", "ideal_mon"]);
+    for w in [Workload::Pr, Workload::Atf, Workload::Hj, Workload::Sc] {
+        let real = run_cfg(&opts, w, InputSize::Medium, |_| {});
+        let ideal = run_cfg(&opts, w, InputSize::Medium, |c| c.ideal_mon = true);
+        print_row(w.label(), &[1.0, real.cycles as f64 / ideal.cycles as f64]);
+    }
+}

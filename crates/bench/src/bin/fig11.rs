@@ -1,0 +1,68 @@
+//! Figure 11: PCU design-space exploration — (a) operand-buffer size
+//! sweep {1, 2, 4, 8, 16} and (b) execution-width sweep {1, 2, 4}, under
+//! Locality-Aware dispatch, normalized to the default (4 entries, width 1).
+//!
+//! Paper shape: performance saturates at 4 operand-buffer entries (> 30 %
+//! over a single entry); execution width has a negligible effect because
+//! PEI execution time is dominated by memory access.
+//!
+//! ```text
+//! cargo run -p pei-bench --release --bin fig11 [-- --scale full]
+//! ```
+
+use pei_bench::{geomean, print_cols, print_row, print_title, ExpOptions, CYCLE_LIMIT};
+use pei_core::DispatchPolicy;
+use pei_system::System;
+use pei_workloads::{InputSize, Workload};
+
+/// The workload subset used for the sweep (one per op class keeps the
+/// sweep fast while spanning writer/reader and small/large-operand PEIs).
+const SWEEP: [Workload; 4] = [Workload::Pr, Workload::Bfs, Workload::Hj, Workload::Sc];
+
+fn run_with(opts: &ExpOptions, w: Workload, operand_entries: usize, exec_width: usize) -> u64 {
+    let params = opts.workload_params();
+    let (store, trace) = w.build(InputSize::Medium, &params);
+    let mut cfg = opts.machine(DispatchPolicy::LocalityAware);
+    cfg.pcu.operand_entries = operand_entries;
+    cfg.pcu.exec_width = exec_width;
+    let mut sys = System::new(cfg, store);
+    sys.add_workload(trace, (0..cfg.cores).collect());
+    sys.run(CYCLE_LIMIT).cycles
+}
+
+fn main() {
+    let opts = ExpOptions::from_args();
+
+    print_title("Fig. 11a — operand-buffer size sweep (speedup vs 4 entries)");
+    print_cols("workload", &["1", "2", "4", "8", "16"]);
+    let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); 5];
+    for w in SWEEP {
+        let baseline = run_with(&opts, w, 4, 1) as f64;
+        let mut row = Vec::new();
+        for (i, entries) in [1usize, 2, 4, 8, 16].iter().enumerate() {
+            let s = baseline / run_with(&opts, w, *entries, 1) as f64;
+            per_size[i].push(s);
+            row.push(s);
+        }
+        print_row(w.label(), &row);
+    }
+    print_row(
+        "GM",
+        &per_size.iter().map(|v| geomean(v)).collect::<Vec<_>>(),
+    );
+
+    print_title("Fig. 11b — execution-width sweep (speedup vs width 1)");
+    print_cols("workload", &["1", "2", "4"]);
+    let mut per_w: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for w in SWEEP {
+        let baseline = run_with(&opts, w, 4, 1) as f64;
+        let mut row = Vec::new();
+        for (i, width) in [1usize, 2, 4].iter().enumerate() {
+            let s = baseline / run_with(&opts, w, 4, *width) as f64;
+            per_w[i].push(s);
+            row.push(s);
+        }
+        print_row(w.label(), &row);
+    }
+    print_row("GM", &per_w.iter().map(|v| geomean(v)).collect::<Vec<_>>());
+}

@@ -1,0 +1,63 @@
+//! Figure 12: memory-hierarchy energy of Host-Only, PIM-Only and
+//! Locality-Aware, normalized to Ideal-Host, with the per-component
+//! breakdown (caches / DRAM / off-chip links / TSVs / PCUs / PMU).
+//!
+//! Paper shape: Locality-Aware consumes the least energy at every input
+//! size — for small inputs PIM-Only blows up DRAM and link energy; for
+//! large inputs Host-Only pays in off-chip traffic and runtime. The
+//! memory-side PCUs stay a tiny fraction (~1.4 %) of HMC energy.
+//!
+//! ```text
+//! cargo run -p pei-bench --release --bin fig12 [-- --scale full]
+//! ```
+
+use pei_bench::{geomean, print_cols, print_row, print_title, run_ideal_host, run_one, ExpOptions};
+use pei_core::DispatchPolicy;
+use pei_system::RunResult;
+use pei_workloads::{InputSize, Workload};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    for size in InputSize::ALL {
+        print_title(&format!(
+            "Fig. 12 ({size}) — memory-hierarchy energy normalized to Ideal-Host"
+        ));
+        print_cols(
+            "workload",
+            &["host-only", "pim-only", "loc-aware", "mpcu/hmc%"],
+        );
+        let mut host_all = Vec::new();
+        let mut pim_all = Vec::new();
+        let mut la_all = Vec::new();
+        let mut share_all = Vec::new();
+        for w in Workload::ALL {
+            let ideal = run_ideal_host(&opts, w, size);
+            let host = run_one(&opts, w, size, DispatchPolicy::HostOnly);
+            let pim = run_one(&opts, w, size, DispatchPolicy::PimOnly);
+            let la = run_one(&opts, w, size, DispatchPolicy::LocalityAware);
+            let n = |r: &RunResult| r.energy.total() / ideal.energy.total();
+            let share = if pim.energy.hmc_total() > 0.0 {
+                100.0 * pim.energy.pcu_mem_share() / pim.energy.hmc_total()
+            } else {
+                0.0
+            };
+            host_all.push(n(&host));
+            pim_all.push(n(&pim));
+            la_all.push(n(&la));
+            if share > 0.0 {
+                share_all.push(share);
+            }
+            print_row(w.label(), &[n(&host), n(&pim), n(&la), share]);
+        }
+        print_row(
+            "GM",
+            &[
+                geomean(&host_all),
+                geomean(&pim_all),
+                geomean(&la_all),
+                geomean(&share_all),
+            ],
+        );
+    }
+    println!("\nmpcu/hmc% = memory-side PCU share of HMC energy under PIM-Only (§7.7: ~1.4%)");
+}

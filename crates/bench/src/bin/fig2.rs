@@ -1,0 +1,39 @@
+//! Figure 2: performance improvement with an in-memory atomic addition
+//! operation used for PageRank, across nine graphs of increasing size.
+//!
+//! Paper shape: memory-side addition *loses* (up to ~20 %) on the small,
+//! cache-resident graphs and *wins* (up to ~53 %) on the large ones.
+//!
+//! ```text
+//! cargo run -p pei-bench --release --bin fig2 [-- --scale full]
+//! ```
+
+use pei_bench::{nine_graphs, print_cols, print_row, print_title, run_trace, ExpOptions};
+use pei_core::DispatchPolicy;
+use pei_workloads::workload::Workload;
+use pei_workloads::Graph;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let params = pei_bench::ExpOptions::workload_params(&opts);
+
+    print_title("Fig. 2 — PageRank speedup of memory-side atomic addition vs host-side");
+    print_cols("graph", &["vertices", "host_cyc", "pim_cyc", "speedup"]);
+
+    for (name, n) in nine_graphs(params.l3_bytes) {
+        let mk = || {
+            let g = Graph::power_law(n, 10, params.seed ^ n as u64);
+            Workload::Pr.build_on_graph(g, &params)
+        };
+        let (store, trace) = mk();
+        let host = run_trace(&opts, store, trace, DispatchPolicy::HostOnly);
+        let (store, trace) = mk();
+        let pim = run_trace(&opts, store, trace, DispatchPolicy::PimOnly);
+        let speedup = host.cycles as f64 / pim.cycles as f64;
+        print_row(
+            name,
+            &[n as f64, host.cycles as f64, pim.cycles as f64, speedup],
+        );
+    }
+    println!("\nspeedup > 1: memory-side addition wins (expected for large graphs)");
+}

@@ -1,0 +1,49 @@
+//! Figure 6: speedup of Host-Only / PIM-Only / Locality-Aware, normalized
+//! to Ideal-Host, for all ten workloads under small/medium/large inputs
+//! (plus the geometric mean).
+//!
+//! Paper shape: PIM-Only wins big on large inputs (~+44 % GM) but loses on
+//! small ones (~−20 % GM); Locality-Aware tracks the better of the two and
+//! beats both on medium graph inputs.
+//!
+//! ```text
+//! cargo run -p pei-bench --release --bin fig6 [-- --scale full]
+//! ```
+
+use pei_bench::{geomean, print_cols, print_row, print_title, run_ideal_host, run_one, ExpOptions};
+use pei_core::DispatchPolicy;
+use pei_workloads::{InputSize, Workload};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    for size in InputSize::ALL {
+        print_title(&format!("Fig. 6 ({size}) — speedup over Ideal-Host"));
+        print_cols("workload", &["host-only", "pim-only", "loc-aware", "pim%"]);
+        let mut host_all = Vec::new();
+        let mut pim_all = Vec::new();
+        let mut la_all = Vec::new();
+        for w in Workload::ALL {
+            let ideal = run_ideal_host(&opts, w, size);
+            let host = run_one(&opts, w, size, DispatchPolicy::HostOnly);
+            let pim = run_one(&opts, w, size, DispatchPolicy::PimOnly);
+            let la = run_one(&opts, w, size, DispatchPolicy::LocalityAware);
+            let s = |r: &pei_system::RunResult| ideal.cycles as f64 / r.cycles as f64;
+            host_all.push(s(&host));
+            pim_all.push(s(&pim));
+            la_all.push(s(&la));
+            print_row(
+                w.label(),
+                &[s(&host), s(&pim), s(&la), 100.0 * la.pim_fraction],
+            );
+        }
+        print_row(
+            "GM",
+            &[
+                geomean(&host_all),
+                geomean(&pim_all),
+                geomean(&la_all),
+                f64::NAN,
+            ],
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Figure 7: total off-chip transfer of Host-Only and PIM-Only,
+//! normalized to Ideal-Host, for all workloads and input sizes.
+//!
+//! Paper shape: PIM-Only slashes off-chip traffic for large inputs and
+//! *inflates* it enormously for small, cache-resident inputs (up to 502×
+//! in SC).
+//!
+//! ```text
+//! cargo run -p pei-bench --release --bin fig7 [-- --scale full]
+//! ```
+
+use pei_bench::{print_cols, print_row, print_title, run_ideal_host, run_one, ExpOptions};
+use pei_core::DispatchPolicy;
+use pei_workloads::{InputSize, Workload};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    for size in InputSize::ALL {
+        print_title(&format!(
+            "Fig. 7 ({size}) — off-chip bytes normalized to Ideal-Host"
+        ));
+        print_cols("workload", &["host-only", "pim-only"]);
+        for w in Workload::ALL {
+            let ideal = run_ideal_host(&opts, w, size).offchip_bytes.max(1) as f64;
+            let host = run_one(&opts, w, size, DispatchPolicy::HostOnly).offchip_bytes as f64;
+            let pim = run_one(&opts, w, size, DispatchPolicy::PimOnly).offchip_bytes as f64;
+            print_row(w.label(), &[host / ideal, pim / ideal]);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Figure 8: PageRank across the nine-graph series — Host-Only, PIM-Only
+//! and Locality-Aware speedups (normalized to Host-Only) plus the fraction
+//! of PEIs the Locality-Aware machine offloads to memory ("PIM %").
+//!
+//! Paper shape: the PIM % climbs from ~0.3 % on the smallest graph to
+//! ~87 % on the largest, and Locality-Aware tracks (or beats) the better
+//! of the two static policies everywhere.
+//!
+//! ```text
+//! cargo run -p pei-bench --release --bin fig8 [-- --scale full]
+//! ```
+
+use pei_bench::{nine_graphs, print_cols, print_row, print_title, run_trace, ExpOptions};
+use pei_core::DispatchPolicy;
+use pei_workloads::workload::Workload;
+use pei_workloads::Graph;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let params = opts.workload_params();
+
+    print_title("Fig. 8 — PageRank vs graph size (normalized to Host-Only)");
+    print_cols("graph", &["host-only", "pim-only", "loc-aware", "pim%"]);
+
+    for (name, n) in nine_graphs(params.l3_bytes) {
+        let mk = || {
+            let g = Graph::power_law(n, 10, params.seed ^ n as u64);
+            Workload::Pr.build_on_graph(g, &params)
+        };
+        let (store, trace) = mk();
+        let host = run_trace(&opts, store, trace, DispatchPolicy::HostOnly);
+        let (store, trace) = mk();
+        let pim = run_trace(&opts, store, trace, DispatchPolicy::PimOnly);
+        let (store, trace) = mk();
+        let la = run_trace(&opts, store, trace, DispatchPolicy::LocalityAware);
+        let base = host.cycles as f64;
+        print_row(
+            name,
+            &[
+                1.0,
+                base / pim.cycles as f64,
+                base / la.cycles as f64,
+                100.0 * la.pim_fraction,
+            ],
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! Experiment harness: shared machinery for the figure-reproduction
+//! binaries (`fig2` … `fig12`, `pmu_overhead`, `ablations`).
+//!
+//! Every binary accepts:
+//!
+//! * `--scale quick|full` — PEI budget per run (quick ≈ 40 K, full ≈
+//!   200 K; the paper's analog is its fixed 2-billion-instruction window);
+//! * `--paper` — use the paper-scale machine (16 cores, 16 MB L3,
+//!   8 HMCs) instead of the proportionally scaled default (4 cores,
+//!   1 MB L3, 1 HMC);
+//! * `--seed <n>` — RNG seed.
+//!
+//! Results print as aligned text tables whose rows mirror the series of
+//! the corresponding paper figure; EXPERIMENTS.md records a measured run
+//! against the paper's claims.
+
+use pei_core::DispatchPolicy;
+use pei_system::{MachineConfig, RunResult, System};
+use pei_workloads::{InputSize, Workload, WorkloadParams};
+
+/// Simulation effort per run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ~40 K PEIs per run: the full figure suite in minutes.
+    Quick,
+    /// ~200 K PEIs per run.
+    Full,
+}
+
+/// Parsed command-line options shared by all figure binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpOptions {
+    /// Simulation effort.
+    pub scale: Scale,
+    /// Paper-scale machine instead of the scaled default.
+    pub paper_machine: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ExpOptions {
+    /// Parses `std::env::args()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown arguments.
+    pub fn from_args() -> Self {
+        let mut opts = ExpOptions {
+            scale: Scale::Quick,
+            paper_machine: false,
+            seed: 0x5eed,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--scale" => {
+                    let v = args.next().expect("--scale needs quick|full");
+                    opts.scale = match v.as_str() {
+                        "quick" => Scale::Quick,
+                        "full" => Scale::Full,
+                        other => panic!("unknown scale `{other}` (quick|full)"),
+                    };
+                }
+                "--paper" => opts.paper_machine = true,
+                "--seed" => {
+                    opts.seed = args
+                        .next()
+                        .expect("--seed needs a number")
+                        .parse()
+                        .expect("seed must be an integer");
+                }
+                other => panic!("unknown argument `{other}` (--scale, --paper, --seed)"),
+            }
+        }
+        opts
+    }
+
+    /// The machine config for `policy` at the chosen machine scale.
+    pub fn machine(&self, policy: DispatchPolicy) -> MachineConfig {
+        if self.paper_machine {
+            MachineConfig::paper(policy)
+        } else {
+            MachineConfig::scaled(policy)
+        }
+    }
+
+    /// Workload parameters matched to the machine.
+    pub fn workload_params(&self) -> WorkloadParams {
+        let m = self.machine(DispatchPolicy::HostOnly);
+        WorkloadParams {
+            threads: m.cores,
+            l3_bytes: m.mem.l3.capacity,
+            pei_budget: match self.scale {
+                Scale::Quick => 40_000,
+                Scale::Full => 200_000,
+            },
+            phase_chunk: 8_192,
+            seed: self.seed,
+            heap_base: WorkloadParams::DEFAULT_HEAP_BASE,
+        }
+    }
+}
+
+/// Upper bound on simulated cycles before declaring a run stuck.
+pub const CYCLE_LIMIT: u64 = 50_000_000_000;
+
+/// Runs `workload` at `size` under `policy`, returning the result.
+pub fn run_one(
+    opts: &ExpOptions,
+    workload: Workload,
+    size: InputSize,
+    policy: DispatchPolicy,
+) -> RunResult {
+    let params = opts.workload_params();
+    let (store, trace) = workload.build(size, &params);
+    run_trace(opts, store, trace, policy)
+}
+
+/// Runs a prepared `(store, trace)` pair under `policy`.
+pub fn run_trace(
+    opts: &ExpOptions,
+    store: pei_mem::BackingStore,
+    trace: Box<dyn pei_cpu::trace::PhasedTrace>,
+    policy: DispatchPolicy,
+) -> RunResult {
+    let cfg = opts.machine(policy);
+    let mut sys = System::new(cfg, store);
+    sys.add_workload(trace, (0..cfg.cores).collect());
+    sys.run(CYCLE_LIMIT)
+}
+
+/// Runs with the Ideal-Host reference configuration (§7).
+pub fn run_ideal_host(opts: &ExpOptions, workload: Workload, size: InputSize) -> RunResult {
+    let params = opts.workload_params();
+    let (store, trace) = workload.build(size, &params);
+    let cfg = opts.machine(DispatchPolicy::HostOnly).ideal_host();
+    let mut sys = System::new(cfg, store);
+    sys.add_workload(trace, (0..cfg.cores).collect());
+    sys.run(CYCLE_LIMIT)
+}
+
+/// Geometric mean.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains non-positive values.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean requires positive values");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Prints a header line for a figure table.
+pub fn print_title(title: &str) {
+    println!("\n# {title}");
+    println!("{}", "=".repeat(title.len() + 2));
+}
+
+/// Formats a row of right-aligned f64 cells after a left-aligned label.
+pub fn print_row(label: &str, cells: &[f64]) {
+    print!("{label:<22}");
+    for c in cells {
+        print!(" {c:>10.3}");
+    }
+    println!();
+}
+
+/// Prints column headers aligned with [`print_row`].
+pub fn print_cols(first: &str, cols: &[&str]) {
+    print!("{first:<22}");
+    for c in cols {
+        print!(" {c:>10}");
+    }
+    println!();
+}
+
+/// The nine-graph series of Figs. 2 and 8: synthetic stand-ins for the
+/// paper's nine real-world graphs, ordered by vertex count (the paper
+/// sorts its x-axis the same way). Returns `(name, vertices)`.
+pub fn nine_graphs(l3_bytes: usize) -> Vec<(&'static str, usize)> {
+    // Vertex counts span ~L3/3 to ~14×L3 of PEI-visible data (~48 B per
+    // vertex) with a 1.6× ladder, mirroring the paper's 62 K – 5 M vertex
+    // range (~77×) around its 16 MB L3.
+    let base = (l3_bytes / 48 / 3).max(256);
+    let names = [
+        "syn-p2p-Gnutella31",
+        "syn-email-EuAll",
+        "syn-soc-Slashdot",
+        "syn-web-Stanford",
+        "syn-amazon-2008",
+        "syn-frwiki-2013",
+        "syn-wiki-Talk",
+        "syn-cit-Patents",
+        "syn-soc-LiveJournal",
+    ];
+    names
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, (base as f64 * 1.6f64.powi(i as i32)) as usize))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_constants() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nine_graphs_grow_monotonically() {
+        let g = nine_graphs(1 << 20);
+        assert_eq!(g.len(), 9);
+        for w in g.windows(2) {
+            assert!(w[1].1 > w[0].1);
+        }
+        // Smallest well under L3, largest far above it.
+        assert!(g[0].1 * 48 < (1 << 20) / 2);
+        assert!(g[8].1 * 48 > 8 * (1 << 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        geomean(&[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Execution-location policies for PEIs (§7) and the balanced-dispatch
+//! heuristic (§7.4).
+
+use pei_types::packet::PacketKind;
+use pei_types::PimOpKind;
+
+/// Where PEIs are allowed to execute, matching the four configurations of
+/// §7 (Ideal-Host is Host-Only plus an ideal PIM directory, configured in
+/// [`crate::PmuConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DispatchPolicy {
+    /// All PEIs execute on host-side PCUs.
+    HostOnly,
+    /// All PEIs are offloaded to memory-side PCUs.
+    PimOnly,
+    /// The locality monitor decides per PEI (§4.3).
+    LocalityAware,
+    /// Locality-aware plus balanced dispatch: on a locality miss, the
+    /// execution location is chosen to balance request/response link
+    /// bandwidth (§7.4).
+    LocalityAwareBalanced,
+}
+
+impl DispatchPolicy {
+    /// All policies, for sweeps.
+    pub const ALL: [DispatchPolicy; 4] = [
+        DispatchPolicy::HostOnly,
+        DispatchPolicy::PimOnly,
+        DispatchPolicy::LocalityAware,
+        DispatchPolicy::LocalityAwareBalanced,
+    ];
+
+    /// Whether this policy consults the locality monitor.
+    pub fn uses_monitor(self) -> bool {
+        matches!(
+            self,
+            DispatchPolicy::LocalityAware | DispatchPolicy::LocalityAwareBalanced
+        )
+    }
+}
+
+impl std::fmt::Display for DispatchPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DispatchPolicy::HostOnly => "Host-Only",
+            DispatchPolicy::PimOnly => "PIM-Only",
+            DispatchPolicy::LocalityAware => "Locality-Aware",
+            DispatchPolicy::LocalityAwareBalanced => "Locality-Aware+BD",
+        })
+    }
+}
+
+/// Balanced dispatch (§7.4): given a PEI that *missed* in the locality
+/// monitor and the controller's EMA flit counters, decide whether to
+/// offload it to memory (`true`) or force host execution (`false`),
+/// exactly as the paper specifies: "if C_res is greater than C_req, our
+/// scheme chooses the one that consumes less response bandwidth between
+/// host-side and memory-side execution", and symmetrically.
+///
+/// Host execution of a low-locality PEI costs one block read over the
+/// links (16 B request / 80 B response); memory execution costs
+/// `16 + input` request bytes and `16 + output` response bytes.
+///
+/// The PMU additionally dithers consecutive host overrides (see
+/// [`crate::Pmu`]) so the mix stays fine-grained.
+pub fn balanced_choice(op: PimOpKind, c_req: u64, c_res: u64) -> bool {
+    let host_req = PacketKind::ReadReq.wire_bytes();
+    let host_res = PacketKind::ReadResp.wire_bytes();
+    let mem_req = PacketKind::PimReq {
+        input_bytes: op.input_bytes() as u16,
+    }
+    .wire_bytes();
+    let mem_res = PacketKind::PimResp {
+        output_bytes: op.output_bytes() as u16,
+    }
+    .wire_bytes();
+    if c_res > c_req {
+        // Response link is the bottleneck: minimize response bytes.
+        mem_res <= host_res
+    } else {
+        // Request link is the bottleneck: minimize request bytes (ties
+        // keep the locality-miss default of memory execution).
+        mem_req <= host_req
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_monitor_usage() {
+        assert!(!DispatchPolicy::HostOnly.uses_monitor());
+        assert!(!DispatchPolicy::PimOnly.uses_monitor());
+        assert!(DispatchPolicy::LocalityAware.uses_monitor());
+        assert!(DispatchPolicy::LocalityAwareBalanced.uses_monitor());
+    }
+
+    #[test]
+    fn sc_under_request_pressure_goes_host() {
+        // SC's 64-byte input makes its PIM request packet (80 B) heavier
+        // than a host read request (16 B): when the request channel is the
+        // bottleneck, balanced dispatch forces host execution (§7.4).
+        assert!(!balanced_choice(PimOpKind::EuclideanDist, 100, 50));
+    }
+
+    #[test]
+    fn sc_under_response_pressure_goes_memory() {
+        // SC's PIM response (32 B) is lighter than a block read response
+        // (80 B): under response pressure, memory wins.
+        assert!(balanced_choice(PimOpKind::EuclideanDist, 50, 100));
+    }
+
+    #[test]
+    fn small_input_writers_prefer_memory_both_ways() {
+        // An increment costs 16 B/16 B in memory — never worse than the
+        // host's 16 B/80 B read.
+        assert!(balanced_choice(PimOpKind::IncU64, 100, 50));
+        assert!(balanced_choice(PimOpKind::IncU64, 50, 100));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DispatchPolicy::LocalityAware.to_string(), "Locality-Aware");
+        assert_eq!(DispatchPolicy::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,37 @@
+//! PIM-enabled instructions: the paper's contribution.
+//!
+//! This crate implements the architecture of §3–§4:
+//!
+//! * [`ops`] — execution semantics of the seven PIM operations of Table 1
+//!   against the functional backing store (both host-side and memory-side
+//!   PCUs call the same `apply`, which is exactly the paper's "all PCUs
+//!   have the same computation logic").
+//! * [`directory`] — the PIM directory: a direct-mapped, tag-less table of
+//!   reader-writer locks indexed by XOR-folded block addresses, providing
+//!   PEI atomicity with rare false-positive serialization (§4.3).
+//! * [`monitor`] — the locality monitor: an L3-shaped partial-tag array
+//!   with per-entry ignore bits that predicts whether a PEI's target block
+//!   is cache-resident (§4.3).
+//! * [`pcu`] — PEI computation units: the host-side PCU (shares its core's
+//!   L1 port) and the memory-side PCU (one per vault, drives the vault's
+//!   DRAM controller), each with an operand buffer and configurable
+//!   execution width (§4.2).
+//! * [`pmu`] — the PEI management unit near the L3: coordinates atomicity,
+//!   coherence (back-invalidation / back-writeback), locality-aware
+//!   dispatch, balanced dispatch (§7.4), and pfence (§3.2).
+//! * [`dispatch`] — the execution-location policies evaluated in §7
+//!   (Host-Only, PIM-Only, Locality-Aware, plus balanced dispatch).
+
+pub mod directory;
+pub mod dispatch;
+pub mod monitor;
+pub mod ops;
+pub mod pcu;
+pub mod pmu;
+
+pub use directory::{AcquireResult, PimDirectory};
+pub use dispatch::DispatchPolicy;
+pub use monitor::LocalityMonitor;
+pub use ops::apply;
+pub use pcu::{HostPcu, HostPcuOut, MemPcu, MemPcuOut, PcuConfig};
+pub use pmu::{Pmu, PmuConfig, PmuIn, PmuOut};

@@ -1,0 +1,331 @@
+//! Execution semantics of the PIM operations (Table 1).
+//!
+//! Every PCU in the system executes operations through [`apply`], mutating
+//! the functional backing store — so a workload's final memory contents are
+//! bit-comparable with its sequential reference implementation regardless
+//! of where each PEI executed. The PIM directory guarantees the atomicity
+//! that makes this well-defined under concurrency.
+//!
+//! # Hash-bucket layout (HashProbe)
+//!
+//! A bucket is one 64-byte cache block: four 8-byte keys, a payload slot,
+//! and an 8-byte next-bucket pointer in the last word. A key of 0 is an
+//! empty slot; a next pointer of 0 terminates the chain. `pei-workloads`
+//! builds its hash tables in exactly this layout.
+
+use pei_mem::BackingStore;
+use pei_types::{Addr, OperandValue, PimOpKind, BLOCK_BYTES};
+
+/// Keys per hash bucket (HashProbe layout).
+pub const BUCKET_KEYS: usize = 4;
+/// Byte offset of the next-bucket pointer within a bucket block.
+pub const BUCKET_NEXT_OFFSET: u64 = (BLOCK_BYTES - 8) as u64;
+
+/// Executes `op` against the cache block containing `target`, reading the
+/// `input` operand and returning the output operand.
+///
+/// The single-cache-block restriction (§3.1) holds by construction: all
+/// memory reads/writes stay within `target`'s block.
+///
+/// # Panics
+///
+/// Panics if `input` does not match the operand type the operation expects
+/// (a malformed PEI, which real hardware would reject at decode).
+pub fn apply(
+    op: PimOpKind,
+    target: Addr,
+    input: &OperandValue,
+    mem: &mut BackingStore,
+) -> OperandValue {
+    match op {
+        PimOpKind::IncU64 => {
+            let v = mem.read_u64(target);
+            mem.write_u64(target, v.wrapping_add(1));
+            OperandValue::None
+        }
+        PimOpKind::MinU64 => {
+            let new = input.as_u64().expect("min expects a u64 operand");
+            let cur = mem.read_u64(target);
+            if new < cur {
+                mem.write_u64(target, new);
+            }
+            OperandValue::None
+        }
+        PimOpKind::AddF64 => {
+            let delta = input.as_f64().expect("fadd expects an f64 operand");
+            let cur = mem.read_f64(target);
+            mem.write_f64(target, cur + delta);
+            OperandValue::None
+        }
+        PimOpKind::HashProbe => {
+            let key = input.as_u64().expect("probe expects a u64 key");
+            let base = target.block().base();
+            let mut matched = 0u8;
+            for k in 0..BUCKET_KEYS {
+                if mem.read_u64(base.offset(8 * k as u64)) == key {
+                    matched = 1;
+                    break;
+                }
+            }
+            let next = mem.read_u64(base.offset(BUCKET_NEXT_OFFSET));
+            let mut out = [0u8; 9];
+            out[0] = matched;
+            out[1..].copy_from_slice(&next.to_le_bytes());
+            OperandValue::from_bytes(&out)
+        }
+        PimOpKind::HistBin => {
+            let shift = match input {
+                OperandValue::U64(v) => *v as u32,
+                OperandValue::Bytes(b) if b.len() == 1 => b[0] as u32,
+                other => panic!("histbin expects a 1-byte shift operand, got {other:?}"),
+            };
+            let base = target.block().base();
+            let mut bins = [0u8; 16];
+            for (i, bin) in bins.iter_mut().enumerate() {
+                let w = mem.read_u32(base.offset(4 * i as u64));
+                *bin = ((w >> shift) & 0xff) as u8;
+            }
+            OperandValue::from_bytes(&bins)
+        }
+        PimOpKind::EuclideanDist => {
+            let b = input.as_bytes().expect("eudist expects a 64-byte vector");
+            assert_eq!(b.len(), 64, "eudist operand must be 16 f32 values");
+            let base = target.block().base();
+            let mut acc = 0f32;
+            for i in 0..16 {
+                let x = mem.read_f32(base.offset(4 * i as u64));
+                let y = f32::from_le_bytes(b[4 * i..4 * i + 4].try_into().unwrap());
+                acc += (x - y) * (x - y);
+            }
+            OperandValue::from_bytes(&acc.to_le_bytes())
+        }
+        PimOpKind::DotProduct => {
+            let b = input.as_bytes().expect("dot expects a 32-byte vector");
+            assert_eq!(b.len(), 32, "dot operand must be 4 f64 values");
+            let base = target.block().base();
+            let mut acc = 0f64;
+            for i in 0..4 {
+                let x = mem.read_f64(base.offset(8 * i as u64));
+                let y = f64::from_le_bytes(b[8 * i..8 * i + 8].try_into().unwrap());
+                acc += x * y;
+            }
+            OperandValue::F64(acc)
+        }
+    }
+}
+
+/// Host-clock execution latency of each operation's computation logic, in
+/// cycles. Simple integer ops take a cycle or two; the 16-lane FP
+/// reductions (distance, dot product) take longer on the PCU's narrow
+/// datapath.
+pub fn host_latency(op: PimOpKind) -> u64 {
+    match op {
+        PimOpKind::IncU64 | PimOpKind::MinU64 => 2,
+        PimOpKind::AddF64 => 4,
+        PimOpKind::HashProbe => 4,
+        PimOpKind::HistBin => 8,
+        PimOpKind::EuclideanDist => 16,
+        PimOpKind::DotProduct => 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem_with_block() -> (BackingStore, Addr) {
+        let mut m = BackingStore::new();
+        let a = m.alloc_block();
+        (m, a)
+    }
+
+    #[test]
+    fn inc_increments_in_place() {
+        let (mut m, a) = mem_with_block();
+        m.write_u64(a, 41);
+        let out = apply(PimOpKind::IncU64, a, &OperandValue::None, &mut m);
+        assert_eq!(out, OperandValue::None);
+        assert_eq!(m.read_u64(a), 42);
+    }
+
+    #[test]
+    fn inc_wraps_at_max() {
+        let (mut m, a) = mem_with_block();
+        m.write_u64(a, u64::MAX);
+        apply(PimOpKind::IncU64, a, &OperandValue::None, &mut m);
+        assert_eq!(m.read_u64(a), 0);
+    }
+
+    #[test]
+    fn min_keeps_smaller_value() {
+        let (mut m, a) = mem_with_block();
+        m.write_u64(a, 10);
+        apply(PimOpKind::MinU64, a, &OperandValue::U64(7), &mut m);
+        assert_eq!(m.read_u64(a), 7);
+        apply(PimOpKind::MinU64, a, &OperandValue::U64(9), &mut m);
+        assert_eq!(m.read_u64(a), 7, "larger operand must not overwrite");
+    }
+
+    #[test]
+    fn fadd_accumulates() {
+        let (mut m, a) = mem_with_block();
+        m.write_f64(a, 1.5);
+        apply(PimOpKind::AddF64, a, &OperandValue::F64(0.25), &mut m);
+        assert_eq!(m.read_f64(a), 1.75);
+    }
+
+    #[test]
+    fn fadd_is_order_insensitive_for_commutative_sums() {
+        // The atomicity guarantee means only the *set* of deltas matters.
+        let (mut m, a) = mem_with_block();
+        let deltas = [0.5, 0.25, 1.0, 2.0];
+        for d in deltas {
+            apply(PimOpKind::AddF64, a, &OperandValue::F64(d), &mut m);
+        }
+        let (mut m2, a2) = mem_with_block();
+        for d in deltas.iter().rev() {
+            apply(PimOpKind::AddF64, a2, &OperandValue::F64(*d), &mut m2);
+        }
+        assert_eq!(m.read_f64(a), m2.read_f64(a2));
+    }
+
+    #[test]
+    fn probe_finds_key_and_returns_next() {
+        let (mut m, a) = mem_with_block();
+        let base = a.block().base();
+        m.write_u64(base.offset(0), 100);
+        m.write_u64(base.offset(8), 200);
+        m.write_u64(base.offset(BUCKET_NEXT_OFFSET), 0xdead0000);
+        let out = apply(PimOpKind::HashProbe, a, &OperandValue::U64(200), &mut m);
+        let bytes = out.as_bytes().unwrap();
+        assert_eq!(bytes[0], 1, "key 200 present");
+        assert_eq!(
+            u64::from_le_bytes(bytes[1..].try_into().unwrap()),
+            0xdead0000
+        );
+        let miss = apply(PimOpKind::HashProbe, a, &OperandValue::U64(999), &mut m);
+        assert_eq!(miss.as_bytes().unwrap()[0], 0);
+    }
+
+    #[test]
+    fn probe_output_is_9_bytes_per_table1() {
+        let (mut m, a) = mem_with_block();
+        let out = apply(PimOpKind::HashProbe, a, &OperandValue::U64(1), &mut m);
+        assert_eq!(out.byte_len(), 9);
+    }
+
+    #[test]
+    fn histbin_shifts_and_truncates_each_word() {
+        let (mut m, a) = mem_with_block();
+        let base = a.block().base();
+        for i in 0..16u64 {
+            m.write_u32(base.offset(4 * i), (i as u32) << 8);
+        }
+        let out = apply(
+            PimOpKind::HistBin,
+            a,
+            &OperandValue::from_bytes(&[8u8]),
+            &mut m,
+        );
+        let bins = out.as_bytes().unwrap();
+        assert_eq!(bins.len(), 16);
+        for (i, b) in bins.iter().enumerate() {
+            assert_eq!(*b as usize, i);
+        }
+    }
+
+    #[test]
+    fn eudist_matches_scalar_computation() {
+        let (mut m, a) = mem_with_block();
+        let base = a.block().base();
+        let point: Vec<f32> = (0..16).map(|i| i as f32 * 0.5).collect();
+        let center: Vec<f32> = (0..16).map(|i| 8.0 - i as f32).collect();
+        for (i, v) in point.iter().enumerate() {
+            m.write_f32(base.offset(4 * i as u64), *v);
+        }
+        let mut operand = Vec::new();
+        for v in &center {
+            operand.extend_from_slice(&v.to_le_bytes());
+        }
+        let out = apply(
+            PimOpKind::EuclideanDist,
+            a,
+            &OperandValue::from_bytes(&operand),
+            &mut m,
+        );
+        let got = f32::from_le_bytes(out.as_bytes().unwrap().try_into().unwrap());
+        let want: f32 = point
+            .iter()
+            .zip(&center)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dot_product_matches_scalar_computation() {
+        let (mut m, a) = mem_with_block();
+        let base = a.block().base();
+        let x = [1.0f64, -2.0, 3.0, 0.5];
+        let w = [2.0f64, 1.0, -1.0, 4.0];
+        for (i, v) in x.iter().enumerate() {
+            m.write_f64(base.offset(8 * i as u64), *v);
+        }
+        let mut operand = Vec::new();
+        for v in &w {
+            operand.extend_from_slice(&v.to_le_bytes());
+        }
+        let out = apply(
+            PimOpKind::DotProduct,
+            a,
+            &OperandValue::from_bytes(&operand),
+            &mut m,
+        );
+        let want: f64 = x.iter().zip(&w).map(|(a, b)| a * b).sum();
+        assert_eq!(out.as_f64(), Some(want));
+    }
+
+    #[test]
+    fn readers_do_not_mutate_memory() {
+        let (mut m, a) = mem_with_block();
+        let base = a.block().base();
+        for i in 0..8u64 {
+            m.write_u64(base.offset(8 * i), i * 1000 + 7);
+        }
+        let before: Vec<u8> = m.read_block(a.block()).to_vec();
+        apply(PimOpKind::HashProbe, a, &OperandValue::U64(7), &mut m);
+        apply(
+            PimOpKind::HistBin,
+            a,
+            &OperandValue::from_bytes(&[0u8]),
+            &mut m,
+        );
+        apply(
+            PimOpKind::EuclideanDist,
+            a,
+            &OperandValue::from_bytes(&[0u8; 64]),
+            &mut m,
+        );
+        apply(
+            PimOpKind::DotProduct,
+            a,
+            &OperandValue::from_bytes(&[0u8; 32]),
+            &mut m,
+        );
+        assert_eq!(m.read_block(a.block()).to_vec(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a u64")]
+    fn wrong_operand_type_rejected() {
+        let (mut m, a) = mem_with_block();
+        apply(PimOpKind::MinU64, a, &OperandValue::None, &mut m);
+    }
+
+    #[test]
+    fn latencies_are_positive_for_all_ops() {
+        for op in PimOpKind::ALL {
+            assert!(host_latency(op) > 0);
+        }
+    }
+}

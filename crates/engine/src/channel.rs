@@ -1,0 +1,213 @@
+//! Bandwidth and occupancy primitives shared by links, TSVs, crossbar ports
+//! and DRAM banks.
+
+use pei_types::Cycle;
+
+/// A serialized, bandwidth-limited simplex channel.
+///
+/// Transfers are granted in arrival order; each transfer occupies the
+/// channel for `bytes / bytes_per_cycle` cycles. Serialization time is
+/// accounted in 1/4096ths of a cycle, so long-run bandwidth error is below
+/// 0.025 % for any byte/rate combination. The model matches how the paper
+/// accounts off-chip request / response bandwidth in flits.
+///
+/// # Examples
+///
+/// ```
+/// use pei_engine::BwChannel;
+///
+/// let mut link = BwChannel::new(16.0, 4); // 16 B/cycle, 4-cycle latency
+/// // A 64-byte packet arriving at cycle 0 finishes serializing at cycle 4
+/// // and is delivered 4 cycles later.
+/// assert_eq!(link.transfer(0, 64), 8);
+/// // A back-to-back packet queues behind the first.
+/// assert_eq!(link.transfer(0, 64), 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BwChannel {
+    bytes_per_cycle: f64,
+    latency: Cycle,
+    /// Cycle at which the channel becomes free, in 1/4096ths of a cycle to
+    /// keep fractional serialization near-exact without floats in state.
+    free_at_fx: u64,
+    bytes_carried: u64,
+}
+
+const FX: u64 = 4096;
+
+impl BwChannel {
+    /// Creates a channel carrying `bytes_per_cycle` with a fixed
+    /// propagation `latency` added to every transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` is not positive.
+    pub fn new(bytes_per_cycle: f64, latency: Cycle) -> Self {
+        assert!(bytes_per_cycle > 0.0, "channel bandwidth must be positive");
+        BwChannel {
+            bytes_per_cycle,
+            latency,
+            free_at_fx: 0,
+            bytes_carried: 0,
+        }
+    }
+
+    /// Enqueues a transfer of `bytes` arriving at cycle `now` and returns
+    /// the cycle at which it is fully delivered at the far end.
+    pub fn transfer(&mut self, now: Cycle, bytes: u64) -> Cycle {
+        let start = self.free_at_fx.max(now * FX);
+        let dur = ((bytes as f64 / self.bytes_per_cycle) * FX as f64).ceil() as u64;
+        self.free_at_fx = start + dur;
+        self.bytes_carried += bytes;
+        self.free_at_fx.div_ceil(FX) + self.latency
+    }
+
+    /// Total bytes ever carried (for bandwidth-consumption statistics).
+    pub fn bytes_carried(&self) -> u64 {
+        self.bytes_carried
+    }
+
+    /// The earliest cycle a new transfer could begin serializing.
+    pub fn free_at(&self) -> Cycle {
+        self.free_at_fx.div_ceil(FX)
+    }
+}
+
+/// Tracks when a single-ported resource (DRAM bank, cache bank, PCU
+/// compute logic) next becomes free.
+///
+/// # Examples
+///
+/// ```
+/// use pei_engine::Occupancy;
+///
+/// let mut bank = Occupancy::new();
+/// assert_eq!(bank.reserve(10, 5), 10); // starts immediately, busy to 15
+/// assert_eq!(bank.reserve(12, 5), 15); // queued behind the first
+/// assert_eq!(bank.free_at(), 20);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Occupancy {
+    free_at: Cycle,
+    busy_cycles: u64,
+}
+
+impl Occupancy {
+    /// Creates an idle resource.
+    pub fn new() -> Self {
+        Occupancy::default()
+    }
+
+    /// Reserves the resource for `duration` cycles starting no earlier than
+    /// `now`; returns the actual start cycle.
+    pub fn reserve(&mut self, now: Cycle, duration: Cycle) -> Cycle {
+        let start = self.free_at.max(now);
+        self.free_at = start + duration;
+        self.busy_cycles += duration;
+        start
+    }
+
+    /// Cycle at which the resource becomes free.
+    pub fn free_at(&self) -> Cycle {
+        self.free_at
+    }
+
+    /// Total busy cycles accumulated (utilization statistics).
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+}
+
+/// A pool of `n` identical resources (e.g. a PCU with issue width > 1):
+/// a reservation takes whichever unit frees up first.
+#[derive(Debug, Clone)]
+pub struct OccupancyPool {
+    units: Vec<Occupancy>,
+}
+
+impl OccupancyPool {
+    /// Creates a pool of `n` idle units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "pool must have at least one unit");
+        OccupancyPool {
+            units: vec![Occupancy::new(); n],
+        }
+    }
+
+    /// Reserves the earliest-free unit for `duration` starting no earlier
+    /// than `now`; returns the start cycle.
+    pub fn reserve(&mut self, now: Cycle, duration: Cycle) -> Cycle {
+        let unit = self
+            .units
+            .iter_mut()
+            .min_by_key(|u| u.free_at())
+            .expect("pool is nonempty");
+        unit.reserve(now, duration)
+    }
+
+    /// Number of units in the pool.
+    pub fn width(&self) -> usize {
+        self.units.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_serializes_back_to_back() {
+        let mut c = BwChannel::new(8.0, 0);
+        assert_eq!(c.transfer(0, 16), 2);
+        assert_eq!(c.transfer(0, 16), 4);
+        assert_eq!(c.transfer(100, 8), 101);
+        assert_eq!(c.bytes_carried(), 40);
+    }
+
+    #[test]
+    fn channel_fractional_bandwidth_is_exact_over_window() {
+        // 10 B/cycle; 1000 transfers of 16 B must take exactly 1600 cycles
+        // of serialization, not 1000 * ceil(1.6) = 2000.
+        let mut c = BwChannel::new(10.0, 0);
+        let mut last = 0;
+        for _ in 0..1000 {
+            last = c.transfer(0, 16);
+        }
+        // 16 kB at 10 B/cycle is 1600 cycles; allow <0.025% accounting skew.
+        assert!((1600..=1601).contains(&last), "last = {last}");
+    }
+
+    #[test]
+    fn channel_latency_added_after_serialization() {
+        let mut c = BwChannel::new(16.0, 10);
+        assert_eq!(c.transfer(0, 16), 11);
+    }
+
+    #[test]
+    fn occupancy_reserve_ordering() {
+        let mut o = Occupancy::new();
+        assert_eq!(o.reserve(0, 3), 0);
+        assert_eq!(o.reserve(1, 3), 3);
+        assert_eq!(o.reserve(100, 1), 100);
+        assert_eq!(o.busy_cycles(), 7);
+    }
+
+    #[test]
+    fn pool_uses_all_units() {
+        let mut p = OccupancyPool::new(2);
+        assert_eq!(p.reserve(0, 10), 0); // unit 0
+        assert_eq!(p.reserve(0, 10), 0); // unit 1
+        assert_eq!(p.reserve(0, 10), 10); // back to unit 0
+        assert_eq!(p.width(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_pool_rejected() {
+        OccupancyPool::new(0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Clock-domain arithmetic.
+//!
+//! All timestamps in the simulator are host-clock cycles (4 GHz in the paper
+//! configuration). The memory side (HMC logic die, vault controllers,
+//! memory-side PCUs) runs at 2 GHz, i.e. every `divider = 2` host cycles.
+
+use pei_types::Cycle;
+
+/// A derived clock domain described by its divider relative to the host
+/// clock and the host clock's frequency in GHz.
+///
+/// # Examples
+///
+/// ```
+/// use pei_engine::ClockDomain;
+///
+/// // 2 GHz memory domain under a 4 GHz host clock.
+/// let mem = ClockDomain::new(2, 4.0);
+/// assert_eq!(mem.align_up(5), 6);          // next 2 GHz edge
+/// assert_eq!(mem.cycles(3), 6);            // 3 memory cycles = 6 host cycles
+/// assert_eq!(mem.ns_to_cycles(13.75), 56); // tCL at 2 GHz, in host cycles
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockDomain {
+    divider: u64,
+    host_ghz: f64,
+}
+
+impl ClockDomain {
+    /// Creates a domain ticking every `divider` host cycles under a host
+    /// clock of `host_ghz` GHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divider` is zero or `host_ghz` is not positive.
+    pub fn new(divider: u64, host_ghz: f64) -> Self {
+        assert!(divider > 0, "clock divider must be nonzero");
+        assert!(host_ghz > 0.0, "host frequency must be positive");
+        ClockDomain { divider, host_ghz }
+    }
+
+    /// The host clock itself.
+    pub fn host(host_ghz: f64) -> Self {
+        Self::new(1, host_ghz)
+    }
+
+    /// Divider relative to the host clock.
+    pub fn divider(&self) -> u64 {
+        self.divider
+    }
+
+    /// Rounds `at` up to the next edge of this domain (identity if `at` is
+    /// already on an edge).
+    #[inline]
+    pub fn align_up(&self, at: Cycle) -> Cycle {
+        at.next_multiple_of(self.divider)
+    }
+
+    /// Converts `n` cycles of this domain into host cycles.
+    #[inline]
+    pub fn cycles(&self, n: u64) -> Cycle {
+        n * self.divider
+    }
+
+    /// Converts a duration in nanoseconds into host cycles, rounded up to a
+    /// whole number of this domain's cycles (DRAM timing parameters are
+    /// specified in ns).
+    pub fn ns_to_cycles(&self, ns: f64) -> Cycle {
+        let host_cycles = ns * self.host_ghz;
+        let domain_cycles = (host_cycles / self.divider as f64).ceil() as u64;
+        domain_cycles.max(1) * self.divider
+    }
+
+    /// Converts a bandwidth in GB/s into bytes per host cycle.
+    pub fn gbps_to_bytes_per_cycle(&self, gb_per_s: f64) -> f64 {
+        gb_per_s / self.host_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_up_is_idempotent_and_monotone() {
+        let d = ClockDomain::new(2, 4.0);
+        for at in 0..20 {
+            let a = d.align_up(at);
+            assert!(a >= at);
+            assert_eq!(a % 2, 0);
+            assert_eq!(d.align_up(a), a);
+        }
+    }
+
+    #[test]
+    fn paper_dram_timings() {
+        // tCL = tRCD = tRP = 13.75 ns at a 2 GHz memory clock under a 4 GHz
+        // host clock: 13.75 ns * 4 GHz = 55 host cycles, rounded up to the
+        // 2-cycle grid = 56.
+        let mem = ClockDomain::new(2, 4.0);
+        assert_eq!(mem.ns_to_cycles(13.75), 56);
+    }
+
+    #[test]
+    fn bandwidth_conversion() {
+        let host = ClockDomain::host(4.0);
+        // 40 GB/s at 4 GHz = 10 bytes per host cycle.
+        assert!((host.gbps_to_bytes_per_cycle(40.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "divider")]
+    fn zero_divider_rejected() {
+        ClockDomain::new(0, 4.0);
+    }
+}

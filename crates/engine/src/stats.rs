@@ -1,0 +1,181 @@
+//! A lightweight statistics report: ordered name → value pairs gathered
+//! from components at the end of a run, printable as aligned text and
+//! queryable by experiment harnesses.
+
+use std::collections::BTreeMap;
+
+/// An ordered collection of named scalar statistics.
+///
+/// # Examples
+///
+/// ```
+/// use pei_engine::StatsReport;
+///
+/// let mut s = StatsReport::new();
+/// s.add("l3.hits", 10.0);
+/// s.add("l3.misses", 2.0);
+/// s.bump("l3.hits", 5.0);
+/// assert_eq!(s.get("l3.hits"), Some(15.0));
+/// assert_eq!(s.get("nope"), None);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsReport {
+    values: BTreeMap<String, f64>,
+}
+
+impl StatsReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        StatsReport::default()
+    }
+
+    /// Sets `name` to `value`, replacing any previous value.
+    pub fn add(&mut self, name: impl Into<String>, value: f64) {
+        self.values.insert(name.into(), value);
+    }
+
+    /// Adds `delta` to `name`, starting from zero if absent.
+    pub fn bump(&mut self, name: impl Into<String>, delta: f64) {
+        *self.values.entry(name.into()).or_insert(0.0) += delta;
+    }
+
+    /// Looks up a statistic by exact name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.get(name).copied()
+    }
+
+    /// Looks up a statistic, panicking with a helpful message if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` was never recorded.
+    pub fn expect(&self, name: &str) -> f64 {
+        self.get(name)
+            .unwrap_or_else(|| panic!("statistic `{name}` was not recorded"))
+    }
+
+    /// Sum of all statistics whose name starts with `prefix`.
+    pub fn sum_prefix(&self, prefix: &str) -> f64 {
+        self.values
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Merges another report into this one, summing overlapping names.
+    pub fn merge(&mut self, other: &StatsReport) {
+        for (k, v) in &other.values {
+            self.bump(k.clone(), *v);
+        }
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of recorded statistics.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the report is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl std::fmt::Display for StatsReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let width = self.values.keys().map(|k| k.len()).max().unwrap_or(0);
+        for (k, v) in &self.values {
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                writeln!(f, "{k:<width$}  {:>16}", *v as i64)?;
+            } else {
+                writeln!(f, "{k:<width$}  {v:>16.4}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(String, f64)> for StatsReport {
+    fn from_iter<T: IntoIterator<Item = (String, f64)>>(iter: T) -> Self {
+        StatsReport {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(String, f64)> for StatsReport {
+    fn extend<T: IntoIterator<Item = (String, f64)>>(&mut self, iter: T) {
+        for (k, v) in iter {
+            self.add(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_bump_get() {
+        let mut s = StatsReport::new();
+        s.add("a", 1.0);
+        s.bump("a", 2.0);
+        s.bump("b", 3.0);
+        assert_eq!(s.get("a"), Some(3.0));
+        assert_eq!(s.get("b"), Some(3.0));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn prefix_sum_only_matches_prefix() {
+        let mut s = StatsReport::new();
+        s.add("dram.reads", 2.0);
+        s.add("dram.writes", 3.0);
+        s.add("link.req", 100.0);
+        assert_eq!(s.sum_prefix("dram."), 5.0);
+        assert_eq!(s.sum_prefix("link."), 100.0);
+        assert_eq!(s.sum_prefix("zzz"), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_overlaps() {
+        let mut a = StatsReport::new();
+        a.add("x", 1.0);
+        let mut b = StatsReport::new();
+        b.add("x", 2.0);
+        b.add("y", 4.0);
+        a.merge(&b);
+        assert_eq!(a.get("x"), Some(3.0));
+        assert_eq!(a.get("y"), Some(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "was not recorded")]
+    fn expect_panics_on_missing() {
+        StatsReport::new().expect("ghost");
+    }
+
+    #[test]
+    fn display_renders_every_entry() {
+        let mut s = StatsReport::new();
+        s.add("alpha", 1.0);
+        s.add("beta", 2.5);
+        let out = s.to_string();
+        assert!(out.contains("alpha"));
+        assert!(out.contains("2.5000"));
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let s: StatsReport = vec![("a".to_string(), 1.0)].into_iter().collect();
+        assert_eq!(s.get("a"), Some(1.0));
+        let mut t = StatsReport::new();
+        t.extend(vec![("b".to_string(), 2.0)]);
+        assert_eq!(t.get("b"), Some(2.0));
+    }
+}

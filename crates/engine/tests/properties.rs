@@ -1,0 +1,85 @@
+//! Property-based tests of the simulation kernel.
+
+use pei_engine::{BwChannel, EventQueue, Occupancy, SimRng};
+use proptest::prelude::*;
+
+proptest! {
+    /// The event queue is a stable priority queue: pops are sorted by
+    /// time, and same-time events keep insertion order.
+    #[test]
+    fn event_queue_stable_sort(times in proptest::collection::vec(0u64..50, 1..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut last: Option<(u64, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t > lt || (t == lt && i > li), "instability at {t}/{i}");
+            }
+            prop_assert_eq!(times[i], t);
+            last = Some((t, i));
+        }
+    }
+
+    /// Channel deliveries are monotone in submission order and never
+    /// faster than serialization allows.
+    #[test]
+    fn channel_monotone_and_bandwidth_bounded(
+        sizes in proptest::collection::vec(1u64..256, 1..100),
+        bw in 1u32..64,
+    ) {
+        let bw = bw as f64;
+        let mut c = BwChannel::new(bw, 0);
+        let mut prev = 0;
+        for &s in &sizes {
+            let at = c.transfer(0, s);
+            prop_assert!(at >= prev, "delivery order inverted");
+            prev = at;
+        }
+        let total: u64 = sizes.iter().sum();
+        let min_cycles = (total as f64 / bw).floor() as u64;
+        prop_assert!(prev >= min_cycles, "faster than the wire: {prev} < {min_cycles}");
+        // And within one cycle of accounting slack per transfer.
+        prop_assert!(prev <= min_cycles + sizes.len() as u64 + 2);
+        prop_assert_eq!(c.bytes_carried(), total);
+    }
+
+    /// Occupancy reservations never overlap and conserve busy time.
+    #[test]
+    fn occupancy_no_overlap(reqs in proptest::collection::vec((0u64..1000, 1u64..50), 1..100)) {
+        let mut o = Occupancy::new();
+        let mut intervals: Vec<(u64, u64)> = Vec::new();
+        for &(now, dur) in &reqs {
+            let start = o.reserve(now, dur);
+            prop_assert!(start >= now);
+            intervals.push((start, start + dur));
+        }
+        intervals.sort_unstable();
+        for w in intervals.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "overlapping reservations");
+        }
+        let busy: u64 = reqs.iter().map(|&(_, d)| d).sum();
+        prop_assert_eq!(o.busy_cycles(), busy);
+    }
+
+    /// The RNG's bounded generator is uniform enough and always in range.
+    #[test]
+    fn rng_range_respected(seed in any::<u64>(), bound in 1u64..10_000) {
+        let mut r = SimRng::seed_from(seed);
+        for _ in 0..100 {
+            prop_assert!(r.gen_range(bound) < bound);
+        }
+    }
+
+    /// Shuffle produces a permutation for any seed and length.
+    #[test]
+    fn shuffle_is_permutation(seed in any::<u64>(), n in 0usize..200) {
+        let mut r = SimRng::seed_from(seed);
+        let mut v: Vec<usize> = (0..n).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+}

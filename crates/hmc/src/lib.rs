@@ -1,0 +1,32 @@
+//! Hybrid Memory Cube (HMC) main-memory model.
+//!
+//! Models the paper's Table 2 memory system: 8 cubes of 4 GB on a daisy
+//! chain (80 GB/s full-duplex), 16 vaults per cube, 16 DRAM banks per
+//! vault with FR-FCFS scheduling and open-page timing
+//! (tCL = tRCD = tRP = 13.75 ns), 64-TSV vertical links per vault at
+//! 2 Gb/s signaling, and a packetized off-chip protocol with separate
+//! request and response channels (16-byte flits).
+//!
+//! The crate knows nothing about PEIs beyond transporting
+//! [`pei_types::PimCmd`] packets; memory-side PCU behaviour lives in
+//! `pei-core`.
+//!
+//! # Examples
+//!
+//! ```
+//! use pei_hmc::HmcConfig;
+//! use pei_types::BlockAddr;
+//!
+//! let cfg = HmcConfig::paper();
+//! let (loc, bank, _row) = cfg.route(BlockAddr(0x12345));
+//! assert!(loc.cube.index() < cfg.cubes);
+//! assert!(bank.index() < cfg.banks_per_vault);
+//! ```
+
+pub mod config;
+pub mod ctrl;
+pub mod vault;
+
+pub use config::{DramTiming, HmcConfig, PagePolicy, RefreshTiming};
+pub use ctrl::{CtrlIn, CtrlOut, HmcController};
+pub use vault::{Vault, VaultIn, VaultOut};

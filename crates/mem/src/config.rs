@@ -1,0 +1,141 @@
+//! Configuration of the on-chip memory hierarchy.
+
+use pei_types::Cycle;
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes (for the L3 this is the whole cache, across
+    /// banks).
+    pub capacity: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Hit latency in host cycles.
+    pub latency: Cycle,
+}
+
+impl CacheConfig {
+    /// Creates a config after validating the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not a power-of-two number of sets of
+    /// 64-byte blocks at the given associativity.
+    pub fn new(capacity: usize, ways: usize, latency: Cycle) -> Self {
+        let blocks = capacity / pei_types::BLOCK_BYTES;
+        assert!(
+            blocks >= ways && blocks.is_multiple_of(ways),
+            "bad cache geometry"
+        );
+        assert!(
+            (blocks / ways).is_power_of_two(),
+            "set count must be a power of two"
+        );
+        CacheConfig {
+            capacity,
+            ways,
+            latency,
+        }
+    }
+
+    /// Number of sets at 64-byte blocks.
+    pub fn sets(&self) -> usize {
+        self.capacity / pei_types::BLOCK_BYTES / self.ways
+    }
+}
+
+/// Configuration of the full on-chip hierarchy (Table 2 defaults via
+/// [`MemHierarchyConfig::paper`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemHierarchyConfig {
+    /// Private L1 data cache.
+    pub l1: CacheConfig,
+    /// Private unified L2.
+    pub l2: CacheConfig,
+    /// Shared inclusive L3 (total capacity across banks).
+    pub l3: CacheConfig,
+    /// Number of L3 banks (block-interleaved on low block-address bits).
+    pub l3_banks: usize,
+    /// MSHRs per private cache.
+    pub priv_mshrs: usize,
+    /// MSHRs per L3 bank.
+    pub l3_mshrs: usize,
+    /// Crossbar propagation latency in host cycles.
+    pub xbar_latency: Cycle,
+    /// Crossbar per-source-port bandwidth in bytes per host cycle
+    /// (144-bit links at 2 GHz under a 4 GHz host clock = 9 B/cycle).
+    pub xbar_bytes_per_cycle: f64,
+}
+
+impl MemHierarchyConfig {
+    /// The paper's Table 2 configuration: 32 KB 8-way L1D, 256 KB 8-way L2,
+    /// 16 MB 16-way shared L3, 16 MSHRs private / 64 per L3 bank.
+    pub fn paper() -> Self {
+        MemHierarchyConfig {
+            l1: CacheConfig::new(32 * 1024, 8, 3),
+            l2: CacheConfig::new(256 * 1024, 8, 12),
+            l3: CacheConfig::new(16 * 1024 * 1024, 16, 20),
+            l3_banks: 16,
+            priv_mshrs: 16,
+            l3_mshrs: 64,
+            xbar_latency: 8,
+            xbar_bytes_per_cycle: 9.0,
+        }
+    }
+
+    /// A proportionally scaled-down hierarchy for fast experiments:
+    /// 16 KB L1, 64 KB L2, 1 MB L3 in 4 banks. Ratios between levels (and
+    /// to the scaled workload footprints) match the paper configuration.
+    pub fn scaled() -> Self {
+        MemHierarchyConfig {
+            l1: CacheConfig::new(16 * 1024, 8, 3),
+            l2: CacheConfig::new(64 * 1024, 8, 12),
+            l3: CacheConfig::new(1024 * 1024, 16, 20),
+            l3_banks: 4,
+            priv_mshrs: 16,
+            l3_mshrs: 64,
+            xbar_latency: 8,
+            xbar_bytes_per_cycle: 9.0,
+        }
+    }
+
+    /// Sets per L3 bank.
+    pub fn l3_sets_per_bank(&self) -> usize {
+        self.l3.sets() / self.l3_banks
+    }
+
+    /// Number of low block-address bits consumed by L3 bank selection.
+    pub fn l3_bank_bits(&self) -> u32 {
+        self.l3_banks.trailing_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_matches_table2() {
+        let c = MemHierarchyConfig::paper();
+        assert_eq!(c.l1.sets(), 64); // 32 KB / 64 B / 8
+        assert_eq!(c.l2.sets(), 512);
+        assert_eq!(c.l3.sets(), 16384); // §6.1: locality monitor has 16384 sets
+        assert_eq!(c.l3.ways, 16);
+        assert_eq!(c.l3_sets_per_bank(), 1024);
+        assert_eq!(c.l3_bank_bits(), 4);
+    }
+
+    #[test]
+    fn scaled_keeps_l3_dominant() {
+        let c = MemHierarchyConfig::scaled();
+        assert!(c.l3.capacity > 4 * c.l2.capacity);
+        assert!(c.l2.capacity > c.l1.capacity);
+        assert_eq!(c.l3.sets() % c.l3_banks, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad cache geometry")]
+    fn invalid_geometry_rejected() {
+        CacheConfig::new(100, 8, 1);
+    }
+}

@@ -1,0 +1,800 @@
+//! Full-machine assembly and the discrete-event run loop.
+//!
+//! The [`System`] owns every component (cores, private caches, L3 banks,
+//! crossbar, HMC controller, vaults, PCUs, PMU, the functional backing
+//! store) plus the global event queue, and routes each component's output
+//! messages to their destinations — through the crossbar where the
+//! physical topology says so. All the latencies of Figs. 4 and 5 arise
+//! from this wiring rather than being hard-coded per flow.
+
+use crate::config::MachineConfig;
+use crate::energy::{self, EnergyBreakdown, EnergyInputs, EnergyModel};
+use pei_core::{HostPcu, HostPcuOut, MemPcu, MemPcuOut, Pmu, PmuIn, PmuOut};
+use pei_cpu::core::{Core, CoreEvent, CoreStatus};
+use pei_cpu::trace::PhasedTrace;
+use pei_cpu::CoreOut;
+use pei_engine::{EventQueue, StatsReport};
+use pei_hmc::ctrl::MemSideIn;
+use pei_hmc::{CtrlIn, CtrlOut, HmcController, Vault, VaultIn, VaultOut};
+use pei_mem::l3::{L3In, L3Out};
+use pei_mem::msg::{CoreReq, L3Resp, Recall};
+use pei_mem::xbar::XbarPayload;
+use pei_mem::{BackingStore, Crossbar, L3Bank, PrivOut, PrivateCache};
+use pei_types::mem::ns;
+use pei_types::{BlockAddr, CoreId, Cycle, L3BankId, OperandValue, PimCmd, ReqId};
+
+/// Internal event type of the system loop.
+#[derive(Debug)]
+enum Ev {
+    CoreTick(usize),
+    CoreMemDone(usize, ReqId),
+    CorePeiDone(usize, u64),
+    CorePeiCredit(usize),
+    CorePfenceDone(usize),
+    PrivCoreReq(usize, CoreReq),
+    PrivL3Resp(usize, L3Resp),
+    PrivRecall(usize, Recall),
+    L3(usize, L3In),
+    CtrlHost(CtrlIn),
+    CtrlMem(MemSideIn),
+    VaultAcc(usize, VaultIn),
+    VaultWake(usize),
+    MemPcuCmd(usize, PimCmd),
+    MemPcuVaultDone(usize, ReqId, bool),
+    Pmu(PmuIn),
+    HostPcuDecision(usize, ReqId),
+    HostPcuDispatchedMem(usize, ReqId),
+    HostPcuL1Resp(usize, ReqId),
+    HostPcuMemResult(usize, ReqId, OperandValue),
+}
+
+struct Group {
+    trace: Box<dyn PhasedTrace>,
+    cores: Vec<usize>,
+    drained: Vec<bool>,
+    drained_count: usize,
+    done: bool,
+    instructions_at_done: u64,
+    phases: u64,
+}
+
+/// Result of a full-system run: the headline metrics every experiment
+/// harness consumes, plus the complete statistics report.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Host cycles until the last workload group completed.
+    pub cycles: Cycle,
+    /// Total instructions issued by all cores.
+    pub instructions: u64,
+    /// Total PEIs issued.
+    pub peis: u64,
+    /// Fraction of PEIs dispatched to memory-side PCUs (Fig. 8's "PIM %").
+    pub pim_fraction: f64,
+    /// Off-chip traffic in bytes, both directions (Fig. 7).
+    pub offchip_bytes: u64,
+    /// Request/response link flits.
+    pub offchip_flits: (u64, u64),
+    /// DRAM accesses served (reads + writes).
+    pub dram_accesses: u64,
+    /// Energy breakdown (Fig. 12).
+    pub energy: EnergyBreakdown,
+    /// Full per-component statistics.
+    pub stats: StatsReport,
+}
+
+impl RunResult {
+    /// Instructions per cycle across the whole machine (the sum-of-IPCs
+    /// throughput metric of §7.3 equals this for multiprogrammed runs).
+    pub fn ipc(&self) -> f64 {
+        self.instructions as f64 / self.cycles.max(1) as f64
+    }
+}
+
+/// The simulated machine.
+pub struct System {
+    cfg: MachineConfig,
+    queue: EventQueue<Ev>,
+    cores: Vec<Core>,
+    privs: Vec<PrivateCache>,
+    l3banks: Vec<L3Bank>,
+    xbar: Crossbar,
+    ctrl: HmcController,
+    vaults: Vec<Vault>,
+    mem_pcus: Vec<MemPcu>,
+    host_pcus: Vec<HostPcu>,
+    pmu: Pmu,
+    store: BackingStore,
+    groups: Vec<Group>,
+    core_group: Vec<Option<usize>>,
+    finish_time: Cycle,
+}
+
+impl System {
+    /// Builds an idle machine per `cfg`, with `store` as the simulated
+    /// physical memory contents (typically a clone of the store the
+    /// workload generator initialized).
+    pub fn new(cfg: MachineConfig, mut store: BackingStore) -> Self {
+        let n = cfg.cores;
+        let banks = cfg.mem.l3_banks;
+        let vaults_total = cfg.total_vaults();
+        // Virtual memory: workload data was built at virtual addresses;
+        // place it at the mapped physical frames (§4.4).
+        if cfg.page_map != pei_cpu::PageMap::Identity {
+            store.remap_pages(|vpn| cfg.page_map.translate_page(vpn));
+        }
+        System {
+            queue: EventQueue::new(),
+            cores: (0..n)
+                .map(|i| {
+                    let mut c = Core::new(CoreId(i as u16), cfg.core_config());
+                    if let Some(tlb_cfg) = cfg.tlb {
+                        c.enable_virtual_memory(tlb_cfg, cfg.page_map);
+                    }
+                    c
+                })
+                .collect(),
+            privs: (0..n)
+                .map(|i| PrivateCache::new(CoreId(i as u16), &cfg.mem))
+                .collect(),
+            l3banks: (0..banks)
+                .map(|b| L3Bank::new(L3BankId(b as u16), &cfg.mem))
+                .collect(),
+            // Source ports: one per private cache, one per L3 bank, one
+            // for the PMU.
+            xbar: Crossbar::new(
+                n + banks + 1,
+                cfg.mem.xbar_bytes_per_cycle,
+                cfg.mem.xbar_latency,
+            ),
+            ctrl: HmcController::new(&cfg.hmc),
+            vaults: (0..vaults_total).map(|_| Vault::new(&cfg.hmc)).collect(),
+            mem_pcus: (0..vaults_total)
+                .map(|v| MemPcu::new(v as u16, cfg.pcu, cfg.hmc.mem_clk))
+                .collect(),
+            host_pcus: (0..n)
+                .map(|i| HostPcu::new(CoreId(i as u16), cfg.pcu))
+                .collect(),
+            pmu: Pmu::new(cfg.pmu_config()),
+            store,
+            groups: Vec::new(),
+            core_group: vec![None; n],
+            finish_time: 0,
+            cfg,
+        }
+    }
+
+    /// Assigns a workload to a set of cores (threads map to `cores` in
+    /// order). Multiple groups may coexist (multiprogramming, §7.3); each
+    /// group synchronizes its phases independently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace has more threads than `cores`, or any core is
+    /// already assigned.
+    pub fn add_workload(&mut self, trace: Box<dyn PhasedTrace>, cores: Vec<usize>) {
+        assert!(
+            trace.threads() <= cores.len(),
+            "workload {} needs {} cores, got {}",
+            trace.name(),
+            trace.threads(),
+            cores.len()
+        );
+        for &c in &cores {
+            assert!(self.core_group[c].is_none(), "core {c} already assigned");
+            self.core_group[c] = Some(self.groups.len());
+        }
+        let n = cores.len();
+        self.groups.push(Group {
+            trace,
+            cores,
+            drained: vec![false; n],
+            drained_count: 0,
+            done: false,
+            instructions_at_done: 0,
+            phases: 0,
+        });
+    }
+
+    fn port_priv(&self, core: usize) -> usize {
+        core
+    }
+    fn port_l3(&self, bank: usize) -> usize {
+        self.cfg.cores + bank
+    }
+    fn port_pmu(&self) -> usize {
+        self.cfg.cores + self.cfg.mem.l3_banks
+    }
+    fn bank_of(&self, block: BlockAddr) -> usize {
+        (block.0 as usize) & (self.cfg.mem.l3_banks - 1)
+    }
+
+    fn pull_phase(&mut self, g: usize, now: Cycle) {
+        let group = &mut self.groups[g];
+        match group.trace.next_phase() {
+            Some(phase) => {
+                group.phases += 1;
+                group.drained.iter_mut().for_each(|d| *d = false);
+                group.drained_count = 0;
+                let assignments: Vec<(usize, Vec<pei_cpu::trace::Op>)> = phase
+                    .into_iter()
+                    .enumerate()
+                    .map(|(t, ops)| (group.cores[t], ops))
+                    .collect();
+                // Threads beyond the phase's vector count are immediately
+                // drained; mark them.
+                let active: std::collections::HashSet<usize> =
+                    assignments.iter().map(|(c, _)| *c).collect();
+                let spare: Vec<usize> = group
+                    .cores
+                    .iter()
+                    .copied()
+                    .filter(|c| !active.contains(c))
+                    .collect();
+                for c in spare {
+                    let idx = self.groups[g].cores.iter().position(|&x| x == c).unwrap();
+                    self.groups[g].drained[idx] = true;
+                    self.groups[g].drained_count += 1;
+                }
+                for (c, ops) in assignments {
+                    self.cores[c].push_ops(ops);
+                    self.queue.schedule(now, Ev::CoreTick(c));
+                }
+                // A phase where every thread is empty completes instantly;
+                // the per-core Drained path handles it because empty cores
+                // report Drained on their scheduled tick.
+            }
+            None => {
+                let group = &mut self.groups[g];
+                group.done = true;
+                group.instructions_at_done = group
+                    .cores
+                    .iter()
+                    .map(|&c| self.cores[c].instructions())
+                    .sum();
+                self.finish_time = self.finish_time.max(now);
+            }
+        }
+    }
+
+    fn all_done(&self) -> bool {
+        self.groups.iter().all(|g| g.done)
+    }
+
+    /// Runs until every workload group completes (or `max_cycles` elapse).
+    ///
+    /// # Panics
+    ///
+    /// Panics on deadlock (the event queue empties while work remains) or
+    /// when `max_cycles` is exceeded — both indicate a bug or a grossly
+    /// undersized limit, and the message carries per-core diagnostics.
+    pub fn run(&mut self, max_cycles: Cycle) -> RunResult {
+        assert!(!self.groups.is_empty(), "no workload assigned");
+        for g in 0..self.groups.len() {
+            self.pull_phase(g, 0);
+        }
+        while let Some((now, ev)) = self.queue.pop() {
+            assert!(
+                now <= max_cycles,
+                "cycle limit {max_cycles} exceeded; {} events pending",
+                self.queue.len()
+            );
+            self.dispatch(now, ev);
+            if self.all_done() {
+                break;
+            }
+        }
+        assert!(
+            self.all_done(),
+            "deadlock: event queue empty but work remains: {}",
+            self.diagnose()
+        );
+        self.result()
+    }
+
+    fn diagnose(&self) -> String {
+        let mut s = String::new();
+        for (i, c) in self.cores.iter().enumerate() {
+            if !c.drained() {
+                s.push_str(&format!("core{i} not drained; "));
+            }
+        }
+        for (i, p) in self.privs.iter().enumerate() {
+            if p.inflight_misses() > 0 {
+                s.push_str(&format!("priv{i} has {} misses; ", p.inflight_misses()));
+            }
+        }
+        if self.pmu.in_flight() > 0 {
+            s.push_str(&format!("pmu has {} PEIs; ", self.pmu.in_flight()));
+        }
+        s
+    }
+
+    fn dispatch(&mut self, now: Cycle, ev: Ev) {
+        match ev {
+            Ev::CoreTick(i) => self.core_tick(i, now),
+            Ev::CoreMemDone(i, id) => {
+                if self.cores[i].on_event(CoreEvent::MemDone(id)) {
+                    self.queue.schedule(now, Ev::CoreTick(i));
+                }
+            }
+            Ev::CorePeiDone(i, seq) => {
+                if self.cores[i].on_event(CoreEvent::PeiDone(seq)) {
+                    self.queue.schedule(now, Ev::CoreTick(i));
+                }
+            }
+            Ev::CorePeiCredit(i) => {
+                if self.cores[i].on_event(CoreEvent::PeiCredit) {
+                    self.queue.schedule(now, Ev::CoreTick(i));
+                }
+            }
+            Ev::CorePfenceDone(i) => {
+                if self.cores[i].on_event(CoreEvent::PfenceDone) {
+                    self.queue.schedule(now, Ev::CoreTick(i));
+                }
+            }
+            Ev::PrivCoreReq(i, req) => {
+                let mut outs = Vec::new();
+                self.privs[i].handle_core_req(now, req, &mut outs);
+                self.route_priv(i, outs);
+            }
+            Ev::PrivL3Resp(i, resp) => {
+                let mut outs = Vec::new();
+                self.privs[i].handle_l3_resp(now, resp, &mut outs);
+                self.route_priv(i, outs);
+            }
+            Ev::PrivRecall(i, recall) => {
+                let mut outs = Vec::new();
+                self.privs[i].handle_recall(now, recall, &mut outs);
+                self.route_priv(i, outs);
+            }
+            Ev::L3(b, input) => {
+                if let L3In::Req(req) = &input {
+                    if req.kind.expects_response() {
+                        self.pmu.on_l3_access(req.block);
+                    }
+                }
+                let mut outs = Vec::new();
+                self.l3banks[b].handle(now, input, &mut outs);
+                self.route_l3(b, outs);
+            }
+            Ev::CtrlHost(input) => {
+                let mut outs = Vec::new();
+                self.ctrl.handle_host(now, input, &mut outs);
+                self.route_ctrl(outs);
+            }
+            Ev::CtrlMem(input) => {
+                let mut outs = Vec::new();
+                self.ctrl.handle_mem_side(now, input, &mut outs);
+                self.route_ctrl(outs);
+            }
+            Ev::VaultAcc(v, acc) => {
+                let mut outs = Vec::new();
+                self.vaults[v].handle_access(now, acc, &mut outs);
+                self.route_vault(v, outs);
+            }
+            Ev::VaultWake(v) => {
+                let mut outs = Vec::new();
+                self.vaults[v].wake(now, &mut outs);
+                self.route_vault(v, outs);
+            }
+            Ev::MemPcuCmd(v, cmd) => {
+                let mut outs = Vec::new();
+                self.mem_pcus[v].on_cmd(now, cmd, &mut outs);
+                self.route_mem_pcu(v, outs);
+            }
+            Ev::MemPcuVaultDone(v, id, write) => {
+                let mut outs = Vec::new();
+                self.mem_pcus[v].on_vault_done(now, id, write, &mut self.store, &mut outs);
+                self.route_mem_pcu(v, outs);
+            }
+            Ev::Pmu(input) => {
+                let balance = self.ctrl.balance(now);
+                let mut outs = Vec::new();
+                self.pmu.handle(now, input, balance, &mut outs);
+                self.route_pmu(outs);
+            }
+            Ev::HostPcuDecision(c, id) => {
+                let mut outs = Vec::new();
+                self.host_pcus[c].on_decision_host(now, id, &mut outs);
+                self.route_host_pcu(c, outs);
+            }
+            Ev::HostPcuDispatchedMem(c, id) => {
+                let mut outs = Vec::new();
+                self.host_pcus[c].on_dispatched_mem(now, id, &mut outs);
+                self.route_host_pcu(c, outs);
+            }
+            Ev::HostPcuL1Resp(c, id) => {
+                let mut outs = Vec::new();
+                self.host_pcus[c].on_l1_resp(now, id, &mut self.store, &mut outs);
+                self.route_host_pcu(c, outs);
+            }
+            Ev::HostPcuMemResult(c, id, output) => {
+                let mut outs = Vec::new();
+                self.host_pcus[c].on_mem_result(now, id, output, &mut outs);
+                self.route_host_pcu(c, outs);
+            }
+        }
+    }
+
+    fn core_tick(&mut self, i: usize, now: Cycle) {
+        let outcome = self.cores[i].tick(now);
+        for out in outcome.outs {
+            match out {
+                CoreOut::Mem { id, addr, write } => {
+                    self.queue
+                        .schedule(now + 1, Ev::PrivCoreReq(i, CoreReq { id, addr, write }));
+                }
+                CoreOut::Pei {
+                    seq,
+                    op,
+                    target,
+                    input,
+                } => {
+                    let mut outs = Vec::new();
+                    self.host_pcus[i].begin(now, seq, op, target, input, &mut outs);
+                    self.route_host_pcu(i, outs);
+                }
+                CoreOut::PfenceReq => {
+                    let at = self.xbar.send(self.port_priv(i), now, XbarPayload::Control);
+                    self.queue.schedule(
+                        at,
+                        Ev::Pmu(PmuIn::Pfence {
+                            core: CoreId(i as u16),
+                        }),
+                    );
+                }
+            }
+        }
+        match outcome.status {
+            CoreStatus::Running => {
+                let next = outcome.next.expect("running core has a next tick");
+                self.queue.schedule(next, Ev::CoreTick(i));
+            }
+            CoreStatus::Blocked => {}
+            CoreStatus::Drained => {
+                if let Some(g) = self.core_group[i] {
+                    let idx = self.groups[g].cores.iter().position(|&c| c == i).unwrap();
+                    if !self.groups[g].done && !self.groups[g].drained[idx] {
+                        self.groups[g].drained[idx] = true;
+                        self.groups[g].drained_count += 1;
+                        if self.groups[g].drained_count == self.groups[g].cores.len() {
+                            self.pull_phase(g, now);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn route_priv(&mut self, i: usize, outs: Vec<PrivOut>) {
+        for out in outs {
+            match out {
+                PrivOut::CoreResp { id, at } => match id.namespace() {
+                    ns::CORE => self.queue.schedule(at, Ev::CoreMemDone(i, id)),
+                    ns::HOST_PCU => self.queue.schedule(at, Ev::HostPcuL1Resp(i, id)),
+                    other => panic!("unexpected namespace {other} at private cache"),
+                },
+                PrivOut::ToL3 { req, at } => {
+                    let payload = if req.kind == pei_mem::L3ReqKind::PutM {
+                        XbarPayload::Data
+                    } else {
+                        XbarPayload::Control
+                    };
+                    let delivered = self.xbar.send(self.port_priv(i), at, payload);
+                    let bank = self.bank_of(req.block);
+                    self.queue.schedule(delivered, Ev::L3(bank, L3In::Req(req)));
+                }
+                PrivOut::Ack { ack, at } => {
+                    let payload = if ack.dirty {
+                        XbarPayload::Data
+                    } else {
+                        XbarPayload::Control
+                    };
+                    let delivered = self.xbar.send(self.port_priv(i), at, payload);
+                    let bank = self.bank_of(ack.block);
+                    self.queue.schedule(delivered, Ev::L3(bank, L3In::Ack(ack)));
+                }
+            }
+        }
+    }
+
+    fn route_l3(&mut self, b: usize, outs: Vec<L3Out>) {
+        for out in outs {
+            match out {
+                L3Out::Resp { resp, at } => {
+                    let delivered = self.xbar.send(self.port_l3(b), at, XbarPayload::Data);
+                    self.queue
+                        .schedule(delivered, Ev::PrivL3Resp(resp.core.index(), resp));
+                }
+                L3Out::Recall { recall, at } => {
+                    let delivered = self.xbar.send(self.port_l3(b), at, XbarPayload::Control);
+                    self.queue
+                        .schedule(delivered, Ev::PrivRecall(recall.core.index(), recall));
+                }
+                L3Out::Fetch { fetch, at } => {
+                    let input = if fetch.write {
+                        CtrlIn::Write { block: fetch.block }
+                    } else {
+                        CtrlIn::Read {
+                            id: fetch.id,
+                            block: fetch.block,
+                        }
+                    };
+                    self.queue
+                        .schedule(at + self.cfg.ctrl_latency, Ev::CtrlHost(input));
+                }
+                L3Out::FlushDone { done, at } => {
+                    self.queue
+                        .schedule(at, Ev::Pmu(PmuIn::FlushDone { id: done.id }));
+                }
+            }
+        }
+    }
+
+    fn route_ctrl(&mut self, outs: Vec<CtrlOut>) {
+        let vpc = self.cfg.hmc.vaults_per_cube;
+        for out in outs {
+            match out {
+                CtrlOut::ToVault { loc, access, at } => {
+                    self.queue
+                        .schedule(at, Ev::VaultAcc(loc.flat_index(vpc), access));
+                }
+                CtrlOut::PimToVault { loc, cmd, at } => {
+                    self.queue
+                        .schedule(at, Ev::MemPcuCmd(loc.flat_index(vpc), cmd));
+                }
+                CtrlOut::ReadResp { id, block, at } => {
+                    let bank = self.bank_of(block);
+                    self.queue.schedule(
+                        at + self.cfg.ctrl_latency,
+                        Ev::L3(
+                            bank,
+                            L3In::FetchDone(pei_mem::msg::MemFetchDone { id, block }),
+                        ),
+                    );
+                }
+                CtrlOut::PimResp { out, at } => {
+                    self.queue.schedule(
+                        at + self.cfg.ctrl_latency,
+                        Ev::Pmu(PmuIn::MemResult { out }),
+                    );
+                }
+            }
+        }
+    }
+
+    fn route_vault(&mut self, v: usize, outs: Vec<VaultOut>) {
+        let vpc = self.cfg.hmc.vaults_per_cube;
+        for out in outs {
+            match out {
+                VaultOut::Done {
+                    id,
+                    block,
+                    write,
+                    at,
+                } => match id.namespace() {
+                    ns::L3 if !write => {
+                        self.queue.schedule(
+                            at,
+                            Ev::CtrlMem(MemSideIn::ReadDone {
+                                id,
+                                block,
+                                cube: (v / vpc) as u16,
+                            }),
+                        );
+                    }
+                    // Writebacks complete silently.
+                    ns::MEM_PCU => {
+                        self.queue.schedule(at, Ev::MemPcuVaultDone(v, id, write));
+                    }
+                    _ => {} // writeback with a null id: no response
+                },
+                VaultOut::Wake { at } => self.queue.schedule(at, Ev::VaultWake(v)),
+            }
+        }
+    }
+
+    fn route_mem_pcu(&mut self, v: usize, outs: Vec<MemPcuOut>) {
+        let vpc = self.cfg.hmc.vaults_per_cube;
+        for out in outs {
+            match out {
+                MemPcuOut::VaultAccess {
+                    id,
+                    block,
+                    write,
+                    at,
+                } => {
+                    self.queue
+                        .schedule(at, Ev::VaultAcc(v, VaultIn { id, block, write }));
+                }
+                MemPcuOut::Complete { resp, at } => {
+                    self.queue.schedule(
+                        at,
+                        Ev::CtrlMem(MemSideIn::PimDone {
+                            out: resp,
+                            cube: (v / vpc) as u16,
+                        }),
+                    );
+                }
+            }
+        }
+    }
+
+    fn route_pmu(&mut self, outs: Vec<PmuOut>) {
+        for out in outs {
+            match out {
+                PmuOut::DecideHost { id, core, at } => {
+                    let delivered = self.xbar.send(self.port_pmu(), at, XbarPayload::Control);
+                    let _ = delivered;
+                    self.queue
+                        .schedule(delivered, Ev::HostPcuDecision(core.index(), id));
+                }
+                PmuOut::Flush { flush, at } => {
+                    let bank = self.bank_of(flush.block);
+                    self.queue.schedule(at, Ev::L3(bank, L3In::Flush(flush)));
+                }
+                PmuOut::Launch { cmd, at } => {
+                    self.queue.schedule(
+                        at + self.cfg.ctrl_latency,
+                        Ev::CtrlHost(CtrlIn::Pim { cmd }),
+                    );
+                }
+                PmuOut::MemResultToPcu {
+                    id,
+                    core,
+                    output,
+                    at,
+                } => {
+                    let delivered = self.xbar.send(
+                        self.port_pmu(),
+                        at,
+                        XbarPayload::Operands(output.byte_len() as u16),
+                    );
+                    self.queue
+                        .schedule(delivered, Ev::HostPcuMemResult(core.index(), id, output));
+                }
+                PmuOut::PfenceDone { core, at } => {
+                    let delivered = self.xbar.send(self.port_pmu(), at, XbarPayload::Control);
+                    self.queue
+                        .schedule(delivered, Ev::CorePfenceDone(core.index()));
+                }
+                PmuOut::DispatchedMem { id, core, at } => {
+                    let delivered = self.xbar.send(self.port_pmu(), at, XbarPayload::Control);
+                    self.queue
+                        .schedule(delivered, Ev::HostPcuDispatchedMem(core.index(), id));
+                }
+            }
+        }
+    }
+
+    fn route_host_pcu(&mut self, c: usize, outs: Vec<HostPcuOut>) {
+        for out in outs {
+            match out {
+                HostPcuOut::ToPmu {
+                    id,
+                    op,
+                    target,
+                    input,
+                    at,
+                } => {
+                    let delivered = self.xbar.send(
+                        self.port_priv(c),
+                        at,
+                        XbarPayload::Operands(input.byte_len() as u16),
+                    );
+                    self.queue.schedule(
+                        delivered,
+                        Ev::Pmu(PmuIn::Request {
+                            id,
+                            core: CoreId(c as u16),
+                            op,
+                            target,
+                            input,
+                        }),
+                    );
+                }
+                HostPcuOut::L1Access { req, at } => {
+                    self.queue.schedule(at, Ev::PrivCoreReq(c, req));
+                }
+                HostPcuOut::DoneToCore { seq, at, .. } => {
+                    self.queue.schedule(at, Ev::CorePeiDone(c, seq));
+                }
+                HostPcuOut::CreditToCore { at, .. } => {
+                    self.queue.schedule(at, Ev::CorePeiCredit(c));
+                }
+                HostPcuOut::ReleaseToPmu { id, at } => {
+                    let delivered = self.xbar.send(self.port_priv(c), at, XbarPayload::Control);
+                    self.queue
+                        .schedule(delivered, Ev::Pmu(PmuIn::HostRelease { id }));
+                }
+            }
+        }
+    }
+
+    /// Read access to the simulated memory (for result validation).
+    pub fn store(&self) -> &BackingStore {
+        &self.store
+    }
+
+    fn result(&mut self) -> RunResult {
+        let mut stats = StatsReport::new();
+        for c in &self.cores {
+            c.report("core.", &mut stats);
+        }
+        for p in &self.privs {
+            p.report("cache.", &mut stats);
+        }
+        for b in &self.l3banks {
+            b.report("l3.", &mut stats);
+        }
+        for v in &self.vaults {
+            v.report("dram.", &mut stats);
+        }
+        for p in &self.host_pcus {
+            p.report("hpcu.", &mut stats);
+        }
+        for p in &self.mem_pcus {
+            p.report("mpcu.", &mut stats);
+        }
+        self.ctrl.report("link.", &mut stats);
+        self.pmu.report("pmu.", &mut stats);
+        stats.add("xbar.messages", self.xbar.messages() as f64);
+        stats.add("xbar.bytes", self.xbar.bytes() as f64);
+
+        let (host_d, mem_d) = self.pmu.dispatch_counts();
+        let instructions = self.cores.iter().map(|c| c.instructions()).sum();
+        let peis: u64 = self.cores.iter().map(|c| c.issued_peis()).sum();
+        let (req_flits, res_flits) = self.ctrl.total_flits();
+        let dram_accesses: u64 = self.vaults.iter().map(|v| v.accesses()).sum();
+
+        let l3_accesses: u64 = self.l3banks.iter().map(|b| b.accesses()).sum();
+        let inputs = EnergyInputs {
+            l1_accesses: (stats.expect("cache.l1.hits") + stats.expect("cache.l1.misses")) as u64,
+            l2_accesses: (stats.expect("cache.l2.hits") + stats.expect("cache.l2.misses")) as u64,
+            l3_accesses,
+            dram_activates: stats.expect("dram.activates") as u64,
+            dram_rw: dram_accesses,
+            link_bytes: self.ctrl.total_bytes(),
+            tsv_bytes: stats.expect("dram.tsv_bytes") as u64,
+            host_pcu_ops: host_d,
+            mem_pcu_ops: mem_d,
+            dir_accesses: 2 * (host_d + mem_d),
+            mon_accesses: stats.get("pmu.mon.queries").unwrap_or(0.0) as u64 + l3_accesses,
+            cycles: self.finish_time.max(1),
+        };
+        let energy = energy::compute(&EnergyModel::default(), &inputs);
+        energy::report(&energy, &mut stats);
+
+        let cycles = self.finish_time.max(1);
+        stats.add("sim.cycles", cycles as f64);
+        stats.add("sim.instructions", instructions as f64);
+        stats.add("sim.events", self.queue.total_scheduled() as f64);
+
+        RunResult {
+            cycles,
+            instructions,
+            peis,
+            pim_fraction: if host_d + mem_d > 0 {
+                mem_d as f64 / (host_d + mem_d) as f64
+            } else {
+                0.0
+            },
+            offchip_bytes: self.ctrl.total_bytes(),
+            offchip_flits: (req_flits, res_flits),
+            dram_accesses,
+            energy,
+            stats,
+        }
+    }
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("cores", &self.cores.len())
+            .field("l3_banks", &self.l3banks.len())
+            .field("vaults", &self.vaults.len())
+            .field("policy", &self.cfg.policy)
+            .finish()
+    }
+}

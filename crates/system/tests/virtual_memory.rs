@@ -1,0 +1,134 @@
+//! Virtual-memory integration tests (§4.4): PEIs use virtual addresses,
+//! translation happens once per PEI at the host TLB, and results are
+//! unchanged under an arbitrary (bijective) page mapping.
+
+use pei_core::DispatchPolicy;
+use pei_cpu::trace::{Op, VecPhases};
+use pei_cpu::{PageMap, TlbConfig};
+use pei_mem::BackingStore;
+use pei_system::{MachineConfig, System};
+use pei_types::{Addr, OperandValue, PimOpKind};
+
+const LIMIT: u64 = 100_000_000;
+
+fn inc(target: Addr) -> Op {
+    Op::pei(PimOpKind::IncU64, target, OperandValue::None)
+}
+
+fn vm_config(policy: DispatchPolicy, seed: u64) -> MachineConfig {
+    MachineConfig {
+        tlb: Some(TlbConfig::typical()),
+        page_map: PageMap::Shuffled { seed },
+        ..MachineConfig::scaled(policy)
+    }
+}
+
+#[test]
+fn results_identical_under_shuffled_page_map() {
+    // The same workload must produce identical functional results with
+    // identity and shuffled mappings (reads through the virtual view).
+    let build = || {
+        let mut store = BackingStore::new();
+        let targets: Vec<Addr> = (0..64).map(|_| store.alloc_block()).collect();
+        let ops: Vec<Op> = targets
+            .iter()
+            .flat_map(|&t| vec![inc(t), inc(t), inc(t)])
+            .chain([Op::Pfence])
+            .collect();
+        (store, targets, ops)
+    };
+
+    let (store, targets, ops) = build();
+    let mut plain = System::new(MachineConfig::scaled(DispatchPolicy::LocalityAware), store);
+    plain.add_workload(Box::new(VecPhases::single(ops)), vec![0]);
+    plain.run(LIMIT);
+
+    let (store, _, ops) = build();
+    let map = PageMap::Shuffled { seed: 99 };
+    let mut shuffled = System::new(vm_config(DispatchPolicy::LocalityAware, 99), store);
+    shuffled.add_workload(Box::new(VecPhases::single(ops)), vec![0]);
+    shuffled.run(LIMIT);
+
+    for &t in &targets {
+        assert_eq!(plain.store().read_u64(t), 3);
+        // The shuffled machine stored the value at the *physical* frame.
+        assert_eq!(shuffled.store().read_u64(map.translate(t)), 3);
+    }
+}
+
+#[test]
+fn one_tlb_access_per_pei_and_per_memory_op() {
+    // §4.4: "the single-cache-block restriction guarantees that only one
+    // TLB access is needed for each PEI just as a normal memory access."
+    let mut store = BackingStore::new();
+    let targets: Vec<Addr> = (0..100).map(|_| store.alloc_block()).collect();
+    let mut ops: Vec<Op> = Vec::new();
+    for &t in &targets {
+        ops.push(Op::load(t));
+        ops.push(inc(t));
+    }
+    ops.push(Op::Pfence);
+    let n_mem = targets.len() as u64;
+    let n_pei = targets.len() as u64;
+
+    let mut sys = System::new(vm_config(DispatchPolicy::LocalityAware, 3), store);
+    sys.add_workload(Box::new(VecPhases::single(ops)), vec![0]);
+    let r = sys.run(LIMIT);
+
+    let hits = r.stats.expect("core.tlb.hits") as u64;
+    let misses = r.stats.expect("core.tlb.misses") as u64;
+    // Every op performs exactly one *successful* translation; each miss
+    // costs one extra (filling) access. So hits == ops, exactly.
+    assert_eq!(hits, n_mem + n_pei, "one successful translation per op");
+    assert!(misses > 0, "cold pages must walk");
+    assert!(misses <= n_mem + n_pei);
+}
+
+#[test]
+fn tlb_misses_cost_cycles() {
+    // Touch many distinct pages (TLB capacity 64): with a tiny TLB the
+    // run must be slower than with a huge one.
+    let build = || {
+        let mut store = BackingStore::new();
+        // Two rounds over 512 distinct pages: a big TLB hits the whole
+        // second round, a tiny one thrashes.
+        let ops: Vec<Op> = (0..1024u64)
+            .map(|i| {
+                store.alloc(4096, 4096); // one block per page
+                Op::load(Addr(0x1000_0000 + (i % 512) * 4096))
+            })
+            .collect();
+        (store, ops)
+    };
+    let run = |entries: usize| {
+        let (store, ops) = build();
+        let mut cfg = MachineConfig::scaled(DispatchPolicy::HostOnly);
+        cfg.tlb = Some(TlbConfig {
+            entries,
+            walk_latency: 200,
+        });
+        cfg.page_map = PageMap::Identity;
+        let mut sys = System::new(cfg, store);
+        sys.add_workload(Box::new(VecPhases::single(ops)), vec![0]);
+        sys.run(LIMIT).cycles
+    };
+    let small = run(4);
+    let big = run(4096);
+    assert!(
+        small > big + 50_000,
+        "walks must show up in runtime: small-TLB {small} vs big-TLB {big}"
+    );
+}
+
+#[test]
+fn page_reuse_hits_after_first_walk() {
+    // Sixteen accesses to one page: 1 miss, 15 hits.
+    let mut store = BackingStore::new();
+    let base = store.alloc(4096, 4096);
+    let ops: Vec<Op> = (0..16).map(|i| Op::load(base.offset(i * 64))).collect();
+    let mut sys = System::new(vm_config(DispatchPolicy::HostOnly, 1), store);
+    sys.add_workload(Box::new(VecPhases::single(ops)), vec![0]);
+    let r = sys.run(LIMIT);
+    assert_eq!(r.stats.expect("core.tlb.misses"), 1.0);
+    assert_eq!(r.stats.expect("core.tlb.hits"), 16.0);
+}

@@ -1,0 +1,123 @@
+//! Identifiers for the hardware components of the simulated machine.
+//!
+//! Newtypes (per C-NEWTYPE) prevent, e.g., a vault index from being passed
+//! where a core index is expected, which matters in a machine with 16 cores,
+//! 8 cubes and 128 vaults all indexed by small integers.
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+        pub struct $name(pub u16);
+
+        impl $name {
+            /// The identifier as a plain index usable for `Vec` indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                debug_assert!(v <= u16::MAX as usize);
+                $name(v as u16)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_type! {
+    /// A host processor core (and its private L1/L2 and host-side PCU).
+    CoreId
+}
+id_type! {
+    /// One Hybrid Memory Cube on the daisy chain.
+    CubeId
+}
+id_type! {
+    /// One vault (vertical DRAM partition) within a cube. Vault ids are
+    /// *local* to their cube; pair with [`CubeId`] for a global location.
+    VaultId
+}
+id_type! {
+    /// One DRAM bank within a vault.
+    BankId
+}
+id_type! {
+    /// One bank of the shared, banked L3 cache.
+    L3BankId
+}
+
+/// A global vault location: which cube, and which vault inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VaultLoc {
+    /// The cube on the chain.
+    pub cube: CubeId,
+    /// The vault within that cube.
+    pub vault: VaultId,
+}
+
+impl VaultLoc {
+    /// Flattens the location into a dense index given the machine's
+    /// vaults-per-cube count (useful for `Vec`-of-vaults storage).
+    #[inline]
+    pub fn flat_index(self, vaults_per_cube: usize) -> usize {
+        self.cube.index() * vaults_per_cube + self.vault.index()
+    }
+}
+
+impl std::fmt::Display for VaultLoc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cube{}/vault{}", self.cube.0, self.vault.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_indexable() {
+        let a = CoreId(3);
+        let b = CoreId(7);
+        assert!(a < b);
+        assert_eq!(a.index(), 3);
+        assert_eq!(CoreId::from(5usize), CoreId(5));
+    }
+
+    #[test]
+    fn vault_loc_flattens_densely() {
+        let mut seen = std::collections::HashSet::new();
+        for cube in 0..8 {
+            for vault in 0..16 {
+                let loc = VaultLoc {
+                    cube: CubeId(cube),
+                    vault: VaultId(vault),
+                };
+                assert!(seen.insert(loc.flat_index(16)));
+            }
+        }
+        assert_eq!(seen.len(), 128);
+        assert_eq!(seen.iter().max(), Some(&127));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(CoreId(2).to_string(), "CoreId(2)");
+        assert_eq!(
+            VaultLoc {
+                cube: CubeId(1),
+                vault: VaultId(9)
+            }
+            .to_string(),
+            "cube1/vault9"
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Memory-request descriptors shared by the cache hierarchy and the HMC.
+
+use crate::{BlockAddr, CoreId};
+
+/// A unique identifier for an in-flight memory transaction.
+///
+/// Request ids are allocated by the issuing component and threaded through
+/// responses so out-of-order completion (MSHRs, FR-FCFS reordering) can be
+/// matched back to the original request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ReqId(pub u64);
+
+impl std::fmt::Display for ReqId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// Namespace tags carried in the top byte of a [`ReqId`], letting the
+/// system route completions back to the issuing component class.
+pub mod ns {
+    /// Issued by a core's load/store stream.
+    pub const CORE: u8 = 1;
+    /// Issued by a host-side PCU (shares the core's L1 port).
+    pub const HOST_PCU: u8 = 2;
+    /// Issued by an L3 bank (fills/writebacks).
+    pub const L3: u8 = 3;
+    /// Issued by the PMU (flushes, PIM commands).
+    pub const PMU: u8 = 4;
+    /// Issued by a memory-side PCU (its DRAM accesses).
+    pub const MEM_PCU: u8 = 5;
+}
+
+impl ReqId {
+    /// Builds a namespaced id: top 8 bits namespace, next 16 bits owner
+    /// index, low 40 bits a per-owner counter.
+    #[inline]
+    pub fn tagged(namespace: u8, owner: u16, local: u64) -> ReqId {
+        debug_assert!(local < (1 << 40), "local id overflow");
+        ReqId(((namespace as u64) << 56) | ((owner as u64) << 40) | local)
+    }
+
+    /// The namespace tag.
+    #[inline]
+    pub fn namespace(self) -> u8 {
+        (self.0 >> 56) as u8
+    }
+
+    /// The owner index within the namespace.
+    #[inline]
+    pub fn owner(self) -> u16 {
+        (self.0 >> 40) as u16
+    }
+
+    /// The per-owner counter.
+    #[inline]
+    pub fn local(self) -> u64 {
+        self.0 & ((1 << 40) - 1)
+    }
+}
+
+/// What a memory request wants done with its target block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Read the block with shared permission (a load, `GetS`).
+    Read,
+    /// Read the block with exclusive/modify permission (a store or a writer
+    /// PEI executed at the host, `GetM`).
+    Write,
+    /// Write a dirty victim block back to the next level (`PutM`). Carries
+    /// no response in the common case.
+    Writeback,
+}
+
+impl AccessKind {
+    /// Whether this access needs exclusive permission.
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write | AccessKind::Writeback)
+    }
+}
+
+/// A block-granular memory request as it travels down the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemReq {
+    /// Transaction id, unique among in-flight requests of the issuer.
+    pub id: ReqId,
+    /// The single cache block this request touches.
+    pub block: BlockAddr,
+    /// Read, write, or writeback.
+    pub kind: AccessKind,
+    /// The core on whose behalf the request was issued (used for directory
+    /// presence tracking and for routing responses).
+    pub core: CoreId,
+}
+
+impl MemReq {
+    /// Creates a new request. Plain constructor; no validation is needed
+    /// because all field types are already self-validating.
+    pub fn new(id: ReqId, block: BlockAddr, kind: AccessKind, core: CoreId) -> Self {
+        MemReq {
+            id,
+            block,
+            kind,
+            core,
+        }
+    }
+}
+
+impl std::fmt::Display for MemReq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {:?} {} from {}",
+            self.id, self.kind, self.block, self.core
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_kind_write_classification() {
+        assert!(!AccessKind::Read.is_write());
+        assert!(AccessKind::Write.is_write());
+        assert!(AccessKind::Writeback.is_write());
+    }
+
+    #[test]
+    fn tagged_ids_round_trip() {
+        let id = ReqId::tagged(ns::L3, 7, 123_456);
+        assert_eq!(id.namespace(), ns::L3);
+        assert_eq!(id.owner(), 7);
+        assert_eq!(id.local(), 123_456);
+        // Distinct namespaces never collide even with equal locals.
+        assert_ne!(ReqId::tagged(ns::CORE, 0, 5), ReqId::tagged(ns::PMU, 0, 5));
+    }
+
+    #[test]
+    fn memreq_display_mentions_all_parts() {
+        let r = MemReq::new(ReqId(7), BlockAddr(0x10), AccessKind::Read, CoreId(3));
+        let s = r.to_string();
+        assert!(s.contains("req#7"));
+        assert!(s.contains("blk:0x10"));
+        assert!(s.contains("CoreId(3)"));
+    }
+}

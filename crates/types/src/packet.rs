@@ -1,0 +1,120 @@
+//! HMC off-chip packet kinds and their flit costs.
+//!
+//! The paper's footnote 7 pins the link accounting we reproduce: with 16-byte
+//! flits, "a memory read consumes 16/80 bytes of request/response bandwidth
+//! and a memory write consumes 80 bytes of request bandwidth". PIM packets
+//! carry a 16-byte header plus their input (request direction) or output
+//! (response direction) operands.
+
+use crate::BLOCK_BYTES;
+
+/// Size of one off-chip link flit in bytes.
+pub const FLIT_BYTES: usize = 16;
+
+/// Number of flits a payload of `header + payload_bytes` occupies.
+///
+/// ```
+/// use pei_types::packet::flits_for;
+/// assert_eq!(flits_for(0), 1);   // bare header
+/// assert_eq!(flits_for(8), 2);   // header flit + one data flit
+/// assert_eq!(flits_for(64), 5);  // header + 64 B data
+/// ```
+#[inline]
+pub fn flits_for(payload_bytes: usize) -> u64 {
+    1 + payload_bytes.div_ceil(FLIT_BYTES) as u64
+}
+
+/// A count of flits, the unit of off-chip bandwidth accounting.
+pub type FlitCount = u64;
+
+/// The kinds of packets that traverse the host<->HMC serial links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// Read request for one cache block (header only).
+    ReadReq,
+    /// Read response carrying one cache block.
+    ReadResp,
+    /// Write request carrying one cache block.
+    WriteReq,
+    /// Write acknowledgement (header only).
+    WriteResp,
+    /// PIM operation request carrying `input_bytes` of operands.
+    PimReq {
+        /// Input operand payload size in bytes.
+        input_bytes: u16,
+    },
+    /// PIM operation response carrying `output_bytes` of operands.
+    PimResp {
+        /// Output operand payload size in bytes.
+        output_bytes: u16,
+    },
+}
+
+impl PacketKind {
+    /// Number of request- or response-channel flits this packet occupies.
+    pub fn flits(self) -> FlitCount {
+        match self {
+            PacketKind::ReadReq | PacketKind::WriteResp => flits_for(0),
+            PacketKind::ReadResp | PacketKind::WriteReq => flits_for(BLOCK_BYTES),
+            PacketKind::PimReq { input_bytes } => flits_for(input_bytes as usize),
+            PacketKind::PimResp { output_bytes } => flits_for(output_bytes as usize),
+        }
+    }
+
+    /// Total bytes on the wire (flits × flit size).
+    pub fn wire_bytes(self) -> u64 {
+        self.flits() * FLIT_BYTES as u64
+    }
+
+    /// Whether this packet travels on the request channel (host → memory).
+    pub fn is_request(self) -> bool {
+        matches!(
+            self,
+            PacketKind::ReadReq | PacketKind::WriteReq | PacketKind::PimReq { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footnote7_byte_accounting() {
+        // "a memory read consumes 16/80 bytes of request/response bandwidth"
+        assert_eq!(PacketKind::ReadReq.wire_bytes(), 16);
+        assert_eq!(PacketKind::ReadResp.wire_bytes(), 80);
+        // "a memory write consumes 80 bytes of request bandwidth"
+        assert_eq!(PacketKind::WriteReq.wire_bytes(), 80);
+        assert_eq!(PacketKind::WriteResp.wire_bytes(), 16);
+    }
+
+    #[test]
+    fn pim_packets_scale_with_operands() {
+        // §2.2: memory-side addition sends only the 8-byte delta: one header
+        // flit + one data flit = 32 wire bytes, vs 128 B for the host-side
+        // read+writeback of the whole block.
+        assert_eq!(PacketKind::PimReq { input_bytes: 8 }.wire_bytes(), 32);
+        assert_eq!(PacketKind::PimResp { output_bytes: 0 }.wire_bytes(), 16);
+        // SC: 64 B input vector.
+        assert_eq!(PacketKind::PimReq { input_bytes: 64 }.wire_bytes(), 80);
+        assert_eq!(PacketKind::PimResp { output_bytes: 4 }.wire_bytes(), 32);
+    }
+
+    #[test]
+    fn request_response_classification() {
+        assert!(PacketKind::ReadReq.is_request());
+        assert!(PacketKind::WriteReq.is_request());
+        assert!(PacketKind::PimReq { input_bytes: 0 }.is_request());
+        assert!(!PacketKind::ReadResp.is_request());
+        assert!(!PacketKind::WriteResp.is_request());
+        assert!(!PacketKind::PimResp { output_bytes: 0 }.is_request());
+    }
+
+    #[test]
+    fn flit_rounding() {
+        assert_eq!(flits_for(1), 2);
+        assert_eq!(flits_for(16), 2);
+        assert_eq!(flits_for(17), 3);
+    }
+}

@@ -1,0 +1,63 @@
+//! Property-based tests of the shared vocabulary types.
+
+use pei_types::packet::flits_for;
+use pei_types::{mem::ns, Addr, BlockAddr, OperandValue, PacketKind, ReqId, BLOCK_BYTES};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn block_round_trip_contains_address(raw in any::<u64>()) {
+        let a = Addr(raw);
+        let b = a.block();
+        prop_assert!(b.contains(a));
+        prop_assert!(b.base().0 <= raw);
+        prop_assert!(raw - b.base().0 < BLOCK_BYTES as u64);
+        prop_assert_eq!(a.block_offset() as u64, raw - b.base().0);
+    }
+
+    #[test]
+    fn xor_fold_in_range_and_equal_blocks_collide(raw in any::<u64>(), bits in 1u32..=40) {
+        let f = BlockAddr(raw).xor_fold(bits);
+        prop_assert!(f < (1u64 << bits));
+        // Determinism / no false negatives: equal inputs equal outputs.
+        prop_assert_eq!(f, BlockAddr(raw).xor_fold(bits));
+    }
+
+    #[test]
+    fn reqid_tag_round_trips(nsv in 0u8..=255, owner in any::<u16>(), local in 0u64..(1 << 40)) {
+        let id = ReqId::tagged(nsv, owner, local);
+        prop_assert_eq!(id.namespace(), nsv);
+        prop_assert_eq!(id.owner(), owner);
+        prop_assert_eq!(id.local(), local);
+    }
+
+    #[test]
+    fn distinct_namespaces_never_collide(owner in any::<u16>(), local in 0u64..(1 << 40)) {
+        let a = ReqId::tagged(ns::CORE, owner, local);
+        let b = ReqId::tagged(ns::MEM_PCU, owner, local);
+        prop_assert_ne!(a, b);
+    }
+
+    #[test]
+    fn operand_byte_len_bounded(bytes in proptest::collection::vec(any::<u8>(), 0..=64)) {
+        let v = OperandValue::from_bytes(&bytes);
+        prop_assert_eq!(v.byte_len(), bytes.len());
+        prop_assert!(v.byte_len() <= BLOCK_BYTES);
+    }
+
+    #[test]
+    fn flit_count_is_ceiling_plus_header(payload in 0usize..=256) {
+        let f = flits_for(payload);
+        prop_assert!(f >= 1);
+        prop_assert!((f - 1) * 16 >= payload as u64 || payload == 0);
+        prop_assert!((f as i64 - 2) * 16 < payload as i64);
+    }
+
+    #[test]
+    fn pim_packets_monotone_in_operand_size(a in 0u16..=64, b in 0u16..=64) {
+        prop_assume!(a <= b);
+        let fa = PacketKind::PimReq { input_bytes: a }.flits();
+        let fb = PacketKind::PimReq { input_bytes: b }.flits();
+        prop_assert!(fa <= fb);
+    }
+}

@@ -1,0 +1,45 @@
+//! The ten data-intensive workloads of the paper's case study (§5),
+//! implemented as functional-first trace generators.
+//!
+//! Each workload:
+//!
+//! 1. builds its input data (synthetic power-law graphs standing in for
+//!    the SNAP/LAW datasets, DB relations, point sets — see DESIGN.md §2
+//!    for the substitution rationale),
+//! 2. writes the PEI-visible data structures into a [`pei_mem::BackingStore`]
+//!    whose clone becomes the simulated machine's memory, and
+//! 3. implements [`pei_cpu::trace::PhasedTrace`], *functionally executing*
+//!    the algorithm while emitting per-thread op streams (loads, stores,
+//!    compute, PEIs, pfences) for the timing simulator to replay.
+//!
+//! | Workload | Domain | PIM operation (Table 1) |
+//! |----------|--------|--------------------------|
+//! | ATF | graph | 8-byte integer increment |
+//! | BFS, SP, WCC | graph | 8-byte integer min |
+//! | PR | graph | double FP add |
+//! | HJ | analytics | hash-table probe |
+//! | HG, RP | analytics | histogram bin index |
+//! | SC | ML | Euclidean distance |
+//! | SVM | ML | dot product |
+//!
+//! # Examples
+//!
+//! ```
+//! use pei_workloads::{Workload, InputSize, WorkloadParams};
+//!
+//! let params = WorkloadParams::quick_test(2);
+//! let (store, trace) = Workload::Atf.build(InputSize::Small, &params);
+//! assert_eq!(trace.threads(), 2);
+//! # let _ = store;
+//! ```
+
+pub mod analytics;
+pub mod graph;
+pub mod graph_kernels;
+pub mod ml;
+pub mod params;
+pub mod workload;
+
+pub use graph::Graph;
+pub use params::{InputSize, WorkloadParams};
+pub use workload::Workload;

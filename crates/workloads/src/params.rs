@@ -1,0 +1,150 @@
+//! Workload sizing parameters.
+//!
+//! The paper evaluates three input sets per workload (Table 3), chosen so
+//! that "small" fits comfortably in the 16 MB L3, "large" dwarfs it, and
+//! "medium" sits near the boundary. We parameterize footprints relative
+//! to the simulated machine's L3 capacity, so the same ratios hold on
+//! both the paper-scale and the scaled-down default machine.
+
+/// Input-set size class (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputSize {
+    /// Fits comfortably in the L3 (≈ L3/4 of PEI-visible data).
+    Small,
+    /// Around the L3 capacity (≈ 2 × L3): partially cacheable, where the
+    /// power-law skew makes locality per-block.
+    Medium,
+    /// Far beyond the L3 (≈ 16 × L3).
+    Large,
+}
+
+impl InputSize {
+    /// All sizes, in Table 3 order.
+    pub const ALL: [InputSize; 3] = [InputSize::Small, InputSize::Medium, InputSize::Large];
+
+    /// Target footprint of the PEI-visible data in bytes, relative to L3
+    /// capacity.
+    pub fn footprint(self, l3_bytes: usize) -> usize {
+        match self {
+            InputSize::Small => l3_bytes / 4,
+            InputSize::Medium => l3_bytes * 2,
+            InputSize::Large => l3_bytes * 16,
+        }
+    }
+
+    /// Short label for report rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            InputSize::Small => "S",
+            InputSize::Medium => "M",
+            InputSize::Large => "L",
+        }
+    }
+}
+
+impl std::fmt::Display for InputSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            InputSize::Small => "small",
+            InputSize::Medium => "medium",
+            InputSize::Large => "large",
+        })
+    }
+}
+
+/// Parameters shared by all workload generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadParams {
+    /// Threads to spawn (= cores the workload runs on).
+    pub threads: usize,
+    /// L3 capacity of the target machine (drives input sizing).
+    pub l3_bytes: usize,
+    /// Approximate PEI budget per run — the analog of the paper's fixed
+    /// two-billion-instruction simulation window. Generation stops at the
+    /// next phase boundary once the budget is spent, so runtime stays
+    /// bounded across input sizes.
+    pub pei_budget: u64,
+    /// Maximum ops per thread per phase (keeps per-phase memory bounded).
+    pub phase_chunk: usize,
+    /// RNG seed (runs are bit-reproducible given the same seed).
+    pub seed: u64,
+    /// Simulated heap base for this workload's data (multiprogrammed
+    /// mixes give each co-running workload a disjoint base).
+    pub heap_base: u64,
+}
+
+impl WorkloadParams {
+    /// Default heap base (256 MiB).
+    pub const DEFAULT_HEAP_BASE: u64 = 0x1000_0000;
+}
+
+impl WorkloadParams {
+    /// Defaults for the scaled machine: sized against a 1 MB L3.
+    pub fn scaled(threads: usize) -> Self {
+        WorkloadParams {
+            threads,
+            l3_bytes: 1024 * 1024,
+            pei_budget: 120_000,
+            phase_chunk: 8_192,
+            seed: 0x5eed,
+            heap_base: Self::DEFAULT_HEAP_BASE,
+        }
+    }
+
+    /// Tiny inputs with a generous budget: workloads run to completion,
+    /// which the functional-validation tests rely on.
+    pub fn quick_test(threads: usize) -> Self {
+        WorkloadParams {
+            threads,
+            l3_bytes: 64 * 1024,
+            pei_budget: u64::MAX,
+            phase_chunk: 4_096,
+            seed: 7,
+            heap_base: Self::DEFAULT_HEAP_BASE,
+        }
+    }
+}
+
+/// Splits `n` items into `threads` contiguous ranges (the static
+/// scheduling of a `parallel_for`).
+pub fn partition(n: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    let per = n.div_ceil(threads.max(1));
+    (0..threads)
+        .map(|t| (t * per).min(n)..((t + 1) * per).min(n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprints_are_ordered() {
+        let l3 = 1 << 20;
+        assert!(InputSize::Small.footprint(l3) < l3);
+        assert!(InputSize::Medium.footprint(l3) > l3);
+        assert!(InputSize::Large.footprint(l3) >= 8 * l3);
+    }
+
+    #[test]
+    fn partition_covers_everything_disjointly() {
+        for (n, t) in [(10, 3), (100, 16), (5, 8), (0, 4), (7, 1)] {
+            let parts = partition(n, t);
+            assert_eq!(parts.len(), t);
+            let total: usize = parts.iter().map(|r| r.len()).sum();
+            assert_eq!(total, n);
+            let mut next = 0;
+            for r in &parts {
+                assert!(r.start <= r.end);
+                assert_eq!(r.start, next.min(n));
+                next = r.end;
+            }
+        }
+    }
+
+    #[test]
+    fn labels_and_display() {
+        assert_eq!(InputSize::Small.label(), "S");
+        assert_eq!(InputSize::Large.to_string(), "large");
+    }
+}

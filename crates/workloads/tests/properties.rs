@@ -1,0 +1,87 @@
+//! Property-based tests of the workload generators: structural validity
+//! of generated inputs and conservation laws of the emitted traces.
+
+use pei_cpu::trace::{Op, PhasedTrace};
+use pei_workloads::graph::Graph;
+use pei_workloads::graph_kernels::Atf;
+use pei_workloads::{InputSize, Workload, WorkloadParams};
+use proptest::prelude::*;
+
+fn drain_count(trace: &mut dyn PhasedTrace) -> (u64, u64, u64) {
+    // (phases, ops, peis)
+    let (mut phases, mut ops, mut peis) = (0, 0, 0);
+    while let Some(p) = trace.next_phase() {
+        phases += 1;
+        assert!(phases < 200_000, "runaway generation");
+        for t in &p {
+            ops += t.len() as u64;
+            peis += t.iter().filter(|o| matches!(o, Op::Pei { .. })).count() as u64;
+        }
+    }
+    (phases, ops, peis)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any power-law graph is a structurally valid CSR.
+    #[test]
+    fn graph_csr_always_valid(n in 1usize..2000, deg in 1usize..12, seed in any::<u64>()) {
+        let g = Graph::power_law(n, deg, seed);
+        prop_assert_eq!(g.xadj.len(), g.n + 1);
+        prop_assert_eq!(g.xadj[0], 0);
+        prop_assert!(g.xadj.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(*g.xadj.last().unwrap() as usize, g.edges());
+        prop_assert!(g.adj.iter().all(|&d| (d as usize) < g.n));
+        // succ() covers exactly the edge list.
+        let total: usize = (0..g.n).map(|v| g.succ(v).len()).sum();
+        prop_assert_eq!(total, g.edges());
+    }
+
+    /// ATF emits exactly one increment PEI per teen out-edge, regardless
+    /// of thread count and chunking.
+    #[test]
+    fn atf_pei_conservation(n in 50usize..500, threads in 1usize..8, seed in any::<u64>()) {
+        let mut params = WorkloadParams::quick_test(threads);
+        params.seed = seed;
+        let g = Graph::power_law(n, 5, seed);
+        let (mut atf, _store) = Atf::new(g, &params);
+        let (_, _, peis) = drain_count(&mut atf);
+        let expect: u64 = atf.reference().iter().sum();
+        prop_assert_eq!(peis, expect);
+    }
+
+    /// Every workload's generation terminates under any budget, and a
+    /// larger budget never yields fewer PEIs.
+    #[test]
+    fn budget_monotone(widx in 0usize..10, budget in 64u64..4000) {
+        let w = Workload::ALL[widx];
+        let run = |b: u64| {
+            let params = WorkloadParams {
+                pei_budget: b,
+                ..WorkloadParams::quick_test(2)
+            };
+            let (_store, mut trace) = w.build(InputSize::Small, &params);
+            drain_count(trace.as_mut()).2
+        };
+        let small = run(budget);
+        let big = run(budget * 4);
+        prop_assert!(big >= small, "{w}: budget {budget}: {small} vs {big}");
+    }
+
+    /// Trace generation is deterministic in the seed.
+    #[test]
+    fn generation_deterministic(widx in 0usize..10, seed in any::<u64>()) {
+        let w = Workload::ALL[widx];
+        let run = || {
+            let params = WorkloadParams {
+                pei_budget: 500,
+                seed,
+                ..WorkloadParams::quick_test(2)
+            };
+            let (_store, mut trace) = w.build(InputSize::Small, &params);
+            drain_count(trace.as_mut())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

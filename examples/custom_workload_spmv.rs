@@ -1,0 +1,96 @@
+//! Writing a *new* PEI workload against the public API — the paper
+//! positions the architecture as a substrate for "(possibly) different
+//! types of PEIs" (§5); this example builds sparse matrix-vector multiply
+//! (SpMV, y += A·x) from scratch using `pim.fadd`, without touching the
+//! built-in workload crate internals.
+//!
+//! Each nonzero A[r][c] contributes `A[r][c] * x[c]` to `y[r]`; with rows
+//! distributed across threads, the accumulations into `y` are exactly the
+//! kind of fine-grained atomic float adds the PEI abstraction targets.
+//!
+//! ```text
+//! cargo run --release --example custom_workload_spmv
+//! ```
+
+use pei::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let rows = 20_000;
+    let cols = 20_000;
+    let nnz_per_row = 12;
+    let threads = 4;
+    let mut rng = StdRng::seed_from_u64(123);
+
+    // Sparse matrix in COO form, plus a dense vector x.
+    let x: Vec<f64> = (0..cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut coo: Vec<(u32, u32, f64)> = Vec::new();
+    for r in 0..rows as u32 {
+        for _ in 0..nnz_per_row {
+            coo.push((r, rng.gen_range(0..cols as u32), rng.gen_range(-1.0..1.0)));
+        }
+    }
+
+    // Simulated memory: y lives there (it is the PEI target); the matrix
+    // and x are streamed (timing-only loads).
+    let mut store = BackingStore::new();
+    let y_base = store.alloc(rows as u64 * 8, 64);
+    let a_base = store.alloc(coo.len() as u64 * 16, 64); // (col, value) pairs
+    let y_addr = |r: u32| y_base.offset(r as u64 * 8);
+
+    // Reference result.
+    let mut y_ref = vec![0f64; rows];
+    for &(r, c, v) in &coo {
+        y_ref[r as usize] += v * x[c as usize];
+    }
+
+    // Trace: each thread walks a slice of the nonzeros; per nonzero it
+    // loads the matrix entry, computes the product, and issues an atomic
+    // float-add PEI into y[r].
+    let per = coo.len().div_ceil(threads);
+    let phase: Vec<Vec<Op>> = coo
+        .chunks(per)
+        .map(|slice| {
+            let mut ops = Vec::new();
+            for (i, &(r, c, v)) in slice.iter().enumerate() {
+                if i % 4 == 0 {
+                    ops.push(Op::load(a_base.offset(i as u64 * 16)));
+                }
+                ops.push(Op::Compute(3)); // product + address generation
+                ops.push(Op::pei(
+                    PimOpKind::AddF64,
+                    y_addr(r),
+                    OperandValue::F64(v * x[c as usize]),
+                ));
+            }
+            ops.push(Op::Pfence);
+            ops
+        })
+        .collect();
+
+    let cfg = MachineConfig::scaled(DispatchPolicy::LocalityAware);
+    let mut sys = System::new(cfg, store);
+    sys.add_workload(
+        Box::new(VecPhases::new(threads, vec![phase]).named("SpMV")),
+        (0..threads).collect(),
+    );
+    let r = sys.run(u64::MAX);
+
+    // Validate: simulated y equals the reference (PEI atomicity at work).
+    let max_err = (0..rows as u32)
+        .map(|row| (sys.store().read_f64(y_addr(row)) - y_ref[row as usize]).abs())
+        .fold(0f64, f64::max)
+        / y_ref.iter().map(|v| v.abs()).fold(1e-12, f64::max);
+
+    println!(
+        "SpMV: {} nonzeros in {} cycles (IPC {:.2}), {:.1}% of adds in memory",
+        coo.len(),
+        r.cycles,
+        r.ipc(),
+        100.0 * r.pim_fraction
+    );
+    println!("max relative error vs reference: {max_err:.2e}");
+    assert!(max_err < 1e-12, "atomic float adds must be exact");
+    println!("validation ✓ — a brand-new workload, no simulator changes needed");
+}

@@ -1,0 +1,63 @@
+//! Multiprogramming (§7.3): two applications with very different locality
+//! behaviour co-scheduled on one machine, each on half the cores. The
+//! PMU's locality monitor sees both applications' blocks in one shared
+//! structure and steers each PEI individually — no software involvement.
+//!
+//! ```text
+//! cargo run --release --example multiprogrammed
+//! ```
+
+use pei::prelude::*;
+
+fn run_pair(policy: DispatchPolicy) -> (f64, f64) {
+    let cfg = MachineConfig::scaled(policy);
+    let half = cfg.cores / 2;
+    let params_a = WorkloadParams {
+        threads: half,
+        pei_budget: 10_000,
+        ..WorkloadParams::scaled(half)
+    };
+    let params_b = WorkloadParams {
+        heap_base: 0x40_0000_0000, // disjoint heap for the co-runner
+        ..params_a
+    };
+
+    // A cache-friendly small PageRank next to a memory-hungry large ATF.
+    let (mut store, pr) = Workload::Pr.build(InputSize::Small, &params_a);
+    let (store_b, atf) = Workload::Atf.build(InputSize::Large, &params_b);
+    store.merge_from(&store_b);
+
+    let mut sys = System::new(cfg, store);
+    sys.add_workload(pr, (0..half).collect());
+    sys.add_workload(atf, (half..cfg.cores).collect());
+    let r = sys.run(u64::MAX);
+    (r.ipc(), r.pim_fraction)
+}
+
+fn main() {
+    println!("PR-small (cores 0-1) + ATF-large (cores 2-3), sum-of-IPCs:\n");
+    println!("{:<18} {:>10} {:>10}", "policy", "sum-IPC", "PIM %");
+    let mut base = None;
+    for policy in [
+        DispatchPolicy::HostOnly,
+        DispatchPolicy::PimOnly,
+        DispatchPolicy::LocalityAware,
+    ] {
+        let (ipc, pim) = run_pair(policy);
+        println!(
+            "{:<18} {:>10.3} {:>9.1}%",
+            policy.to_string(),
+            ipc,
+            100.0 * pim
+        );
+        let b = *base.get_or_insert(ipc);
+        if policy == DispatchPolicy::LocalityAware {
+            println!(
+                "\nLocality-Aware throughput vs Host-Only: {:.2}x — the monitor sends\n\
+                 the small app's hot PEIs to host PCUs and the large app's cold PEIs\n\
+                 to memory, per block, within one run.",
+                ipc / b
+            );
+        }
+    }
+}

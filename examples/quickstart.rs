@@ -1,0 +1,48 @@
+//! Quickstart: run PageRank with PIM-enabled instructions on the scaled
+//! machine and compare the three execution policies of the paper.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pei::prelude::*;
+
+fn main() {
+    // Build the workload once per policy (each run consumes its trace).
+    let params = WorkloadParams::scaled(4);
+
+    println!("PageRank (medium input) under the paper's three policies:\n");
+    println!(
+        "{:<18} {:>12} {:>8} {:>10} {:>12}",
+        "policy", "cycles", "IPC", "PIM %", "off-chip MB"
+    );
+
+    let mut baseline = None;
+    for policy in [
+        DispatchPolicy::HostOnly,
+        DispatchPolicy::PimOnly,
+        DispatchPolicy::LocalityAware,
+    ] {
+        let (store, trace) = Workload::Pr.build(InputSize::Medium, &params);
+        let cfg = MachineConfig::scaled(policy);
+        let mut sys = System::new(cfg, store);
+        sys.add_workload(trace, (0..cfg.cores).collect());
+        let r = sys.run(u64::MAX);
+
+        println!(
+            "{:<18} {:>12} {:>8.2} {:>9.1}% {:>12.2}",
+            policy.to_string(),
+            r.cycles,
+            r.ipc(),
+            100.0 * r.pim_fraction,
+            r.offchip_bytes as f64 / 1e6,
+        );
+        let base = *baseline.get_or_insert(r.cycles);
+        if policy == DispatchPolicy::LocalityAware {
+            println!(
+                "\nLocality-Aware speedup over Host-Only: {:.2}x",
+                base as f64 / r.cycles as f64
+            );
+        }
+    }
+}

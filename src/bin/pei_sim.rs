@@ -1,0 +1,216 @@
+//! `pei-sim` — command-line front-end to the simulator: run any of the
+//! paper's ten workloads on any machine configuration and print the
+//! results (optionally the full per-component statistics).
+//!
+//! ```text
+//! cargo run --release --bin pei-sim -- --workload pr --size large --policy la
+//! cargo run --release --bin pei-sim -- -w hj -s medium -p pim --stats
+//! cargo run --release --bin pei-sim -- -w bfs -s small -p la --paper --budget 100000
+//! cargo run --release --bin pei-sim -- -w sc -s large -p bd --vm
+//! ```
+
+use pei::cpu::trace_io::RecordedTrace;
+use pei::cpu::{PageMap, TlbConfig};
+use pei::prelude::*;
+
+struct Args {
+    workload: Workload,
+    size: InputSize,
+    policy: DispatchPolicy,
+    paper: bool,
+    ideal_host: bool,
+    budget: u64,
+    seed: u64,
+    stats: bool,
+    vm: bool,
+    record: Option<String>,
+    replay: Option<String>,
+}
+
+const USAGE: &str = "\
+pei-sim — PIM-enabled-instructions simulator (ISCA 2015 reproduction)
+
+USAGE:
+  pei-sim --workload <W> [--size S] [--policy P] [options]
+
+OPTIONS:
+  -w, --workload  atf|bfs|pr|sp|wcc|hj|hg|rp|sc|svm     (required)
+  -s, --size      small|medium|large                    [default: medium]
+  -p, --policy    host|pim|la|bd                        [default: la]
+      --ideal-host  use the Ideal-Host reference configuration
+      --paper     paper-scale machine (16 cores, 16 MB L3, 8 HMCs)
+      --budget N  PEI simulation window                 [default: 40000]
+      --seed N    RNG seed                              [default: 0x5eed]
+      --vm        virtual memory: per-core TLBs + shuffled page map
+      --stats     print the full statistics report
+      --record F  save the generated trace + initial memory to file F
+                  (then run it)
+      --replay F  run a trace previously saved with --record (workload /
+                  size / budget arguments are ignored)
+  -h, --help      this text
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workload: Workload::Pr,
+        size: InputSize::Medium,
+        policy: DispatchPolicy::LocalityAware,
+        paper: false,
+        ideal_host: false,
+        budget: 40_000,
+        seed: 0x5eed,
+        stats: false,
+        vm: false,
+        record: None,
+        replay: None,
+    };
+    let mut saw_workload = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match a.as_str() {
+            "-w" | "--workload" => {
+                args.workload = match value("--workload")?.to_lowercase().as_str() {
+                    "atf" => Workload::Atf,
+                    "bfs" => Workload::Bfs,
+                    "pr" => Workload::Pr,
+                    "sp" => Workload::Sp,
+                    "wcc" => Workload::Wcc,
+                    "hj" => Workload::Hj,
+                    "hg" => Workload::Hg,
+                    "rp" => Workload::Rp,
+                    "sc" => Workload::Sc,
+                    "svm" => Workload::Svm,
+                    other => return Err(format!("unknown workload `{other}`")),
+                };
+                saw_workload = true;
+            }
+            "-s" | "--size" => {
+                args.size = match value("--size")?.to_lowercase().as_str() {
+                    "small" | "s" => InputSize::Small,
+                    "medium" | "m" => InputSize::Medium,
+                    "large" | "l" => InputSize::Large,
+                    other => return Err(format!("unknown size `{other}`")),
+                };
+            }
+            "-p" | "--policy" => {
+                args.policy = match value("--policy")?.to_lowercase().as_str() {
+                    "host" => DispatchPolicy::HostOnly,
+                    "pim" => DispatchPolicy::PimOnly,
+                    "la" => DispatchPolicy::LocalityAware,
+                    "bd" => DispatchPolicy::LocalityAwareBalanced,
+                    other => return Err(format!("unknown policy `{other}`")),
+                };
+            }
+            "--ideal-host" => args.ideal_host = true,
+            "--paper" => args.paper = true,
+            "--budget" => args.budget = value("--budget")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--vm" => args.vm = true,
+            "--stats" => args.stats = true,
+            "--record" => args.record = Some(value("--record")?),
+            "--replay" => args.replay = Some(value("--replay")?),
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if !saw_workload && args.replay.is_none() {
+        return Err("--workload is required (unless --replay)".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut cfg = if args.paper {
+        MachineConfig::paper(args.policy)
+    } else {
+        MachineConfig::scaled(args.policy)
+    };
+    if args.ideal_host {
+        cfg = cfg.ideal_host();
+    }
+    if args.vm {
+        cfg.tlb = Some(TlbConfig::typical());
+        cfg.page_map = PageMap::Shuffled { seed: args.seed };
+    }
+
+    let params = WorkloadParams {
+        threads: cfg.cores,
+        l3_bytes: cfg.mem.l3.capacity,
+        pei_budget: args.budget,
+        phase_chunk: 8_192,
+        seed: args.seed,
+        heap_base: WorkloadParams::DEFAULT_HEAP_BASE,
+    };
+
+    let (store, trace): (BackingStore, Box<dyn PhasedTrace>) = if let Some(path) = &args.replay {
+        eprintln!("replaying {path} under {}...", cfg.policy);
+        let mut f =
+            std::io::BufReader::new(std::fs::File::open(path).expect("cannot open replay file"));
+        let store = BackingStore::load(&mut f).expect("corrupt store section");
+        let trace = RecordedTrace::load(&mut f).expect("corrupt trace section");
+        (store, Box::new(trace))
+    } else {
+        eprintln!(
+            "running {} ({}) under {} on the {} machine (budget {} PEIs)...",
+            args.workload,
+            args.size,
+            cfg.policy,
+            if args.paper { "paper-scale" } else { "scaled" },
+            args.budget
+        );
+        let (store, mut trace) = args.workload.build(args.size, &params);
+        if let Some(path) = &args.record {
+            let rec = RecordedTrace::record(trace.as_mut());
+            let mut f = std::io::BufWriter::new(
+                std::fs::File::create(path).expect("cannot create record file"),
+            );
+            store.save(&mut f).expect("store write failed");
+            rec.save(&mut f).expect("trace write failed");
+            eprintln!(
+                "recorded {} ops across {} phases to {path}",
+                rec.total_ops(),
+                rec.phases_left()
+            );
+            (store, Box::new(rec))
+        } else {
+            (store, trace)
+        }
+    };
+    let mut sys = System::new(cfg, store);
+    sys.add_workload(trace, (0..cfg.cores).collect());
+    let start = std::time::Instant::now();
+    let r = sys.run(u64::MAX);
+    let wall = start.elapsed();
+
+    println!("cycles           {:>14}", r.cycles);
+    println!("instructions     {:>14}", r.instructions);
+    println!("ipc              {:>14.3}", r.ipc());
+    println!("peis             {:>14}", r.peis);
+    println!("pim_fraction     {:>13.1}%", 100.0 * r.pim_fraction);
+    println!("offchip_bytes    {:>14}", r.offchip_bytes);
+    println!(
+        "offchip_flits    {:>14}",
+        format!("{}/{}", r.offchip_flits.0, r.offchip_flits.1)
+    );
+    println!("dram_accesses    {:>14}", r.dram_accesses);
+    println!("energy_total_nj  {:>14.0}", r.energy.total());
+    println!(
+        "sim_speed        {:>11.0} sim-cycles/s",
+        r.cycles as f64 / wall.as_secs_f64()
+    );
+    if args.stats {
+        println!("\n--- full statistics ---\n{}", r.stats);
+    }
+}

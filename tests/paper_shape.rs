@@ -1,0 +1,183 @@
+//! Paper-shape regression tests: the qualitative results of the paper's
+//! evaluation, encoded as assertions at miniature scale so the headline
+//! behaviour cannot silently regress.
+//!
+//! These use small budgets and 2-core machines; they check *orderings*
+//! (who wins), not magnitudes.
+
+use pei::prelude::*;
+
+/// Runs `w` on a 2-core machine. `sizing_l3` controls the *input* sizing
+/// base (Table 3 footprints are `{1/4, 2, 16}×` this), independent of the
+/// machine's real 1 MB L3 — small-input claims shrink it so the budget
+/// window covers several reuse passes, the way the paper's 2-billion-
+/// instruction window does.
+fn run_sized(
+    w: Workload,
+    size: InputSize,
+    policy: DispatchPolicy,
+    budget: u64,
+    sizing_l3: usize,
+) -> RunResult {
+    let mut cfg = MachineConfig::scaled(policy);
+    cfg.cores = 2;
+    let params = WorkloadParams {
+        threads: 2,
+        l3_bytes: sizing_l3,
+        pei_budget: budget,
+        phase_chunk: 4_096,
+        seed: 0xabcd,
+        heap_base: WorkloadParams::DEFAULT_HEAP_BASE,
+    };
+    let (store, trace) = w.build(size, &params);
+    let mut sys = System::new(cfg, store);
+    sys.add_workload(trace, vec![0, 1]);
+    sys.run(u64::MAX)
+}
+
+/// Machine-proportional sizing (inputs sized against the real 1 MB L3).
+fn run(w: Workload, size: InputSize, policy: DispatchPolicy, budget: u64) -> RunResult {
+    run_sized(w, size, policy, budget, 1024 * 1024)
+}
+
+/// Reuse-friendly sizing: small inputs are ~64 KB so a 20 K-PEI window
+/// re-touches every block many times.
+fn run_small_sized(w: Workload, size: InputSize, policy: DispatchPolicy) -> RunResult {
+    run_sized(w, size, policy, 20_000, 256 * 1024)
+}
+
+/// §2.2 / Fig. 2 / Fig. 6a: on cache-resident inputs, always-offload
+/// loses to host execution.
+#[test]
+fn pim_only_loses_on_small_graph_inputs() {
+    for w in [Workload::Pr, Workload::Bfs] {
+        let host = run_small_sized(w, InputSize::Small, DispatchPolicy::HostOnly);
+        let pim = run_small_sized(w, InputSize::Small, DispatchPolicy::PimOnly);
+        assert!(
+            pim.cycles > host.cycles,
+            "{w}: PIM-Only must lose on small inputs ({} vs {})",
+            pim.cycles,
+            host.cycles
+        );
+    }
+}
+
+/// Fig. 6c: on large inputs, offloading wins big for the writer-PEI
+/// graph kernels.
+#[test]
+fn pim_only_wins_on_large_graph_inputs() {
+    for w in [Workload::Atf, Workload::Pr] {
+        let host = run(w, InputSize::Large, DispatchPolicy::HostOnly, 6_000);
+        let pim = run(w, InputSize::Large, DispatchPolicy::PimOnly, 6_000);
+        assert!(
+            (pim.cycles as f64) < 0.8 * host.cycles as f64,
+            "{w}: PIM-Only must win clearly on large inputs ({} vs {})",
+            pim.cycles,
+            host.cycles
+        );
+    }
+}
+
+/// Figs. 6/8: Locality-Aware tracks the better static policy within a
+/// modest margin at both extremes.
+#[test]
+fn locality_aware_tracks_the_winner() {
+    for (w, size) in [
+        (Workload::Pr, InputSize::Large),
+        (Workload::Atf, InputSize::Large),
+    ] {
+        let host = run(w, size, DispatchPolicy::HostOnly, 6_000).cycles as f64;
+        let pim = run(w, size, DispatchPolicy::PimOnly, 6_000).cycles as f64;
+        let la = run(w, size, DispatchPolicy::LocalityAware, 6_000).cycles as f64;
+        let best = host.min(pim);
+        assert!(
+            la <= 1.25 * best,
+            "{w}/{size}: LA ({la}) strays from the best policy ({best})"
+        );
+    }
+}
+
+/// Fig. 8: the offload fraction grows monotonically (within noise) with
+/// input size.
+#[test]
+fn offload_fraction_grows_with_input_size() {
+    let small = run_small_sized(
+        Workload::Pr,
+        InputSize::Small,
+        DispatchPolicy::LocalityAware,
+    );
+    let medium = run(
+        Workload::Pr,
+        InputSize::Medium,
+        DispatchPolicy::LocalityAware,
+        8_000,
+    );
+    let large = run(
+        Workload::Pr,
+        InputSize::Large,
+        DispatchPolicy::LocalityAware,
+        8_000,
+    );
+    assert!(
+        small.pim_fraction < medium.pim_fraction && medium.pim_fraction < large.pim_fraction,
+        "PIM%: {:.2} -> {:.2} -> {:.2}",
+        small.pim_fraction,
+        medium.pim_fraction,
+        large.pim_fraction
+    );
+    assert!(large.pim_fraction > 0.5);
+    assert!(small.pim_fraction < 0.3);
+}
+
+/// Fig. 7: PIM-Only's off-chip traffic blows up on small inputs and
+/// shrinks on large ones, relative to host execution.
+#[test]
+fn offchip_traffic_crossover() {
+    let w = Workload::Pr;
+    let host_s = run_small_sized(w, InputSize::Small, DispatchPolicy::HostOnly).offchip_bytes;
+    let pim_s = run_small_sized(w, InputSize::Small, DispatchPolicy::PimOnly).offchip_bytes;
+    assert!(pim_s > 2 * host_s, "small: {pim_s} vs {host_s}");
+    let host_l = run(w, InputSize::Large, DispatchPolicy::HostOnly, 6_000).offchip_bytes;
+    let pim_l = run(w, InputSize::Large, DispatchPolicy::PimOnly, 6_000).offchip_bytes;
+    assert!(pim_l < host_l, "large: {pim_l} vs {host_l}");
+}
+
+/// §7.7: the memory-side PCUs stay a small share of HMC energy.
+#[test]
+fn memory_pcu_energy_share_is_negligible() {
+    let pim = run(
+        Workload::Atf,
+        InputSize::Large,
+        DispatchPolicy::PimOnly,
+        6_000,
+    );
+    let share = pim.energy.pcu_mem_share() / pim.energy.hmc_total();
+    assert!(share < 0.05, "share = {share}");
+    assert!(share > 0.0);
+}
+
+/// §7.6: a real PIM directory costs only a few percent over Ideal-Host.
+#[test]
+fn real_directory_is_nearly_free() {
+    let w = Workload::Atf;
+    let mut cfg = MachineConfig::scaled(DispatchPolicy::HostOnly);
+    cfg.cores = 2;
+    let params = WorkloadParams {
+        threads: 2,
+        l3_bytes: cfg.mem.l3.capacity,
+        pei_budget: 8_000,
+        phase_chunk: 4_096,
+        seed: 0xabcd,
+        heap_base: WorkloadParams::DEFAULT_HEAP_BASE,
+    };
+    let (store, trace) = w.build(InputSize::Medium, &params);
+    let mut sys = System::new(cfg, store);
+    sys.add_workload(trace, vec![0, 1]);
+    let real = sys.run(u64::MAX).cycles as f64;
+
+    let (store, trace) = w.build(InputSize::Medium, &params);
+    let mut sys = System::new(cfg.ideal_host(), store);
+    sys.add_workload(trace, vec![0, 1]);
+    let ideal = sys.run(u64::MAX).cycles as f64;
+    assert!(real <= 1.10 * ideal, "real {real} vs ideal {ideal}");
+}
