@@ -9,59 +9,102 @@
 //!    PIM-allocated entries are also first-hit-filtered, vs the real one.
 //!
 //! ```text
-//! cargo run -p pei-bench --release --bin ablations [-- --scale full]
+//! cargo run -p pei-bench --release --bin ablations [-- --scale full --jobs 8]
 //! ```
 
-use pei_bench::{print_cols, print_row, print_title, ExpOptions, CYCLE_LIMIT};
+use pei_bench::runner::{Batch, RunSpec};
+use pei_bench::{print_cols, print_row, print_title, ExpOptions};
 use pei_core::DispatchPolicy;
-use pei_system::System;
 use pei_workloads::{InputSize, Workload};
 
-fn run_cfg(
-    opts: &ExpOptions,
-    w: Workload,
-    size: InputSize,
-    f: impl FnOnce(&mut pei_system::MachineConfig),
-) -> pei_system::RunResult {
-    let params = opts.workload_params();
-    let (store, trace) = w.build(size, &params);
-    let mut cfg = opts.machine(DispatchPolicy::LocalityAware);
-    f(&mut cfg);
-    let mut sys = System::new(cfg, store);
-    sys.add_workload(trace, (0..cfg.cores).collect());
-    sys.run(CYCLE_LIMIT)
-}
+const DIR_ENTRIES: [usize; 5] = [64, 256, 1024, 2048, 8192];
+const TAG_BITS: [u32; 5] = [4, 6, 8, 10, 14];
+const IGNORE_BIT_CASES: [(Workload, InputSize); 4] = [
+    (Workload::Atf, InputSize::Small),
+    (Workload::Pr, InputSize::Medium),
+    (Workload::Sc, InputSize::Large),
+    (Workload::Hj, InputSize::Medium),
+];
+const MON_REALISM: [Workload; 4] = [Workload::Pr, Workload::Atf, Workload::Hj, Workload::Sc];
 
 fn main() {
     let opts = ExpOptions::from_args();
+    let params = opts.workload_params();
+
+    // All five ablations go into one batch so a single --jobs fan-out
+    // covers the whole study.
+    let mut batch = Batch::new();
+    let la_slot = |batch: &mut Batch, w, size, f: &dyn Fn(&mut pei_system::MachineConfig)| {
+        let mut cfg = opts.machine(DispatchPolicy::LocalityAware);
+        f(&mut cfg);
+        batch.push(RunSpec::sized(cfg, params, w, size))
+    };
+
+    // Ablation 0: PR large under PIM-Only with DRAM-policy variants; the
+    // default (open pages + refresh) is both the baseline and a variant.
+    let dram_cells: Vec<usize> = [(false, true), (false, false), (true, true)]
+        .iter()
+        .map(|&(page_closed, refresh)| {
+            let mut cfg = opts.machine(DispatchPolicy::PimOnly);
+            if page_closed {
+                cfg.hmc.page_policy = pei_hmc::PagePolicy::Closed;
+            }
+            if !refresh {
+                cfg.hmc.refresh = None;
+            }
+            batch.push(RunSpec::sized(cfg, params, Workload::Pr, InputSize::Large))
+        })
+        .collect();
+
+    // Ablations 1 + 2 share the Locality-Aware PR-medium default baseline.
+    let la_base = la_slot(&mut batch, Workload::Pr, InputSize::Medium, &|_| {});
+    let dir_cells: Vec<usize> = DIR_ENTRIES
+        .iter()
+        .map(|&entries| {
+            la_slot(&mut batch, Workload::Pr, InputSize::Medium, &move |c| {
+                c.dir_entries = entries;
+            })
+        })
+        .collect();
+    let tag_cells: Vec<usize> = TAG_BITS
+        .iter()
+        .map(|&bits| {
+            la_slot(&mut batch, Workload::Pr, InputSize::Medium, &move |c| {
+                c.mon_tag_bits = bits;
+            })
+        })
+        .collect();
+
+    let ignore_cells: Vec<[usize; 2]> = IGNORE_BIT_CASES
+        .iter()
+        .map(|&(w, size)| {
+            [
+                la_slot(&mut batch, w, size, &|_| {}),
+                la_slot(&mut batch, w, size, &|c| c.mon_ignore_bit = false),
+            ]
+        })
+        .collect();
+
+    let mon_cells: Vec<[usize; 2]> = MON_REALISM
+        .iter()
+        .map(|&w| {
+            [
+                la_slot(&mut batch, w, InputSize::Medium, &|_| {}),
+                la_slot(&mut batch, w, InputSize::Medium, &|c| c.ideal_mon = true),
+            ]
+        })
+        .collect();
+
+    let results = batch.run(opts.jobs);
 
     print_title("Ablation 0 — DRAM policies (PR large, PIM-Only, cycles vs default)");
     print_cols("variant", &["cycles_norm", "row_hit%", "refresh_delays"]);
-    let dram_base = {
-        let params = opts.workload_params();
-        let (store, trace) = Workload::Pr.build(InputSize::Large, &params);
-        let cfg = opts.machine(pei_core::DispatchPolicy::PimOnly);
-        let mut sys = System::new(cfg, store);
-        sys.add_workload(trace, (0..cfg.cores).collect());
-        sys.run(CYCLE_LIMIT)
-    };
-    for (name, page_closed, refresh) in [
-        ("open+refresh", false, true),
-        ("open, no refresh", false, false),
-        ("closed+refresh", true, true),
-    ] {
-        let params = opts.workload_params();
-        let (store, trace) = Workload::Pr.build(InputSize::Large, &params);
-        let mut cfg = opts.machine(pei_core::DispatchPolicy::PimOnly);
-        if page_closed {
-            cfg.hmc.page_policy = pei_hmc::PagePolicy::Closed;
-        }
-        if !refresh {
-            cfg.hmc.refresh = None;
-        }
-        let mut sys = System::new(cfg, store);
-        sys.add_workload(trace, (0..cfg.cores).collect());
-        let r = sys.run(CYCLE_LIMIT);
+    let dram_base = &results[dram_cells[0]];
+    for (name, cell) in ["open+refresh", "open, no refresh", "closed+refresh"]
+        .iter()
+        .zip(&dram_cells)
+    {
+        let r = &results[*cell];
         let hits = r.stats.expect("dram.row_hits");
         print_row(
             name,
@@ -75,11 +118,9 @@ fn main() {
 
     print_title("Ablation 1 — PIM-directory entries (PR medium, cycles vs 2048)");
     print_cols("entries", &["cycles_norm", "queued", "peak_q"]);
-    let base = run_cfg(&opts, Workload::Pr, InputSize::Medium, |_| {});
-    for entries in [64usize, 256, 1024, 2048, 8192] {
-        let r = run_cfg(&opts, Workload::Pr, InputSize::Medium, |c| {
-            c.dir_entries = entries;
-        });
+    let base = &results[la_base];
+    for (entries, cell) in DIR_ENTRIES.iter().zip(&dir_cells) {
+        let r = &results[*cell];
         print_row(
             &entries.to_string(),
             &[
@@ -92,10 +133,8 @@ fn main() {
 
     print_title("Ablation 2 — locality-monitor partial-tag bits (PR medium)");
     print_cols("tag_bits", &["cycles_norm", "aliases", "pim%"]);
-    for bits in [4u32, 6, 8, 10, 14] {
-        let r = run_cfg(&opts, Workload::Pr, InputSize::Medium, |c| {
-            c.mon_tag_bits = bits;
-        });
+    for (bits, cell) in TAG_BITS.iter().zip(&tag_cells) {
+        let r = &results[*cell];
         print_row(
             &bits.to_string(),
             &[
@@ -111,14 +150,8 @@ fn main() {
         "workload",
         &["with(cyc)", "without/with", "pim%with", "pim%without"],
     );
-    for (w, size) in [
-        (Workload::Atf, InputSize::Small),
-        (Workload::Pr, InputSize::Medium),
-        (Workload::Sc, InputSize::Large),
-        (Workload::Hj, InputSize::Medium),
-    ] {
-        let on = run_cfg(&opts, w, size, |_| {});
-        let off = run_cfg(&opts, w, size, |c| c.mon_ignore_bit = false);
+    for ((w, size), [on, off]) in IGNORE_BIT_CASES.iter().zip(&ignore_cells) {
+        let (on, off) = (&results[*on], &results[*off]);
         print_row(
             &format!("{w}-{}", size.label()),
             &[
@@ -132,9 +165,8 @@ fn main() {
 
     print_title("Ablation 4 — monitor realism (real vs ideal full tags, several workloads)");
     print_cols("workload", &["real", "ideal_mon"]);
-    for w in [Workload::Pr, Workload::Atf, Workload::Hj, Workload::Sc] {
-        let real = run_cfg(&opts, w, InputSize::Medium, |_| {});
-        let ideal = run_cfg(&opts, w, InputSize::Medium, |c| c.ideal_mon = true);
+    for (w, [real, ideal]) in MON_REALISM.iter().zip(&mon_cells) {
+        let (real, ideal) = (&results[*real], &results[*ideal]);
         print_row(w.label(), &[1.0, real.cycles as f64 / ideal.cycles as f64]);
     }
 }

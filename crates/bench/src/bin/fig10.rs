@@ -7,37 +7,54 @@
 //! that balances request/response link bandwidth.
 //!
 //! ```text
-//! cargo run -p pei-bench --release --bin fig10 [-- --scale full]
+//! cargo run -p pei-bench --release --bin fig10 [-- --scale full --jobs 8]
 //! ```
 
-use pei_bench::{print_cols, print_row, print_title, run_one, ExpOptions};
+use pei_bench::runner::{Batch, RunSpec};
+use pei_bench::{print_cols, print_row, print_title, ExpOptions};
 use pei_core::DispatchPolicy;
 use pei_workloads::{InputSize, Workload};
 
 fn main() {
     let opts = ExpOptions::from_args();
+    let params = opts.workload_params();
+
+    let mut batch = Batch::new();
+    let workloads = [Workload::Sc, Workload::Svm];
+    let cells: Vec<[usize; 3]> = workloads
+        .iter()
+        .map(|&w| {
+            let mut slot = |policy| {
+                batch.push(RunSpec::sized(
+                    opts.machine(policy),
+                    params,
+                    w,
+                    InputSize::Large,
+                ))
+            };
+            [
+                slot(DispatchPolicy::PimOnly),
+                slot(DispatchPolicy::LocalityAware),
+                slot(DispatchPolicy::LocalityAwareBalanced),
+            ]
+        })
+        .collect();
+    let results = batch.run(opts.jobs);
+
     print_title("Fig. 10 — balanced dispatch on SC / SVM (large), normalized to PIM-Only");
     print_cols(
         "workload",
         &["pim-only", "loc-aware", "la+bd", "bd-overrides"],
     );
-    for w in [Workload::Sc, Workload::Svm] {
-        let pim = run_one(&opts, w, InputSize::Large, DispatchPolicy::PimOnly);
-        let la = run_one(&opts, w, InputSize::Large, DispatchPolicy::LocalityAware);
-        let bd = run_one(
-            &opts,
-            w,
-            InputSize::Large,
-            DispatchPolicy::LocalityAwareBalanced,
-        );
-        let base = pim.cycles as f64;
+    for (w, [pim, la, bd]) in workloads.iter().zip(&cells) {
+        let base = results[*pim].cycles as f64;
         print_row(
             w.label(),
             &[
                 1.0,
-                base / la.cycles as f64,
-                base / bd.cycles as f64,
-                bd.stats.expect("pmu.balanced_overrides"),
+                base / results[*la].cycles as f64,
+                base / results[*bd].cycles as f64,
+                results[*bd].stats.expect("pmu.balanced_overrides"),
             ],
         );
     }

@@ -7,40 +7,56 @@
 //! PEI execution time is dominated by memory access.
 //!
 //! ```text
-//! cargo run -p pei-bench --release --bin fig11 [-- --scale full]
+//! cargo run -p pei-bench --release --bin fig11 [-- --scale full --jobs 8]
 //! ```
 
-use pei_bench::{geomean, print_cols, print_row, print_title, ExpOptions, CYCLE_LIMIT};
+use pei_bench::runner::{Batch, RunSpec};
+use pei_bench::{geomean, print_cols, print_row, print_title, ExpOptions};
 use pei_core::DispatchPolicy;
-use pei_system::System;
 use pei_workloads::{InputSize, Workload};
 
 /// The workload subset used for the sweep (one per op class keeps the
 /// sweep fast while spanning writer/reader and small/large-operand PEIs).
 const SWEEP: [Workload; 4] = [Workload::Pr, Workload::Bfs, Workload::Hj, Workload::Sc];
 
-fn run_with(opts: &ExpOptions, w: Workload, operand_entries: usize, exec_width: usize) -> u64 {
-    let params = opts.workload_params();
-    let (store, trace) = w.build(InputSize::Medium, &params);
-    let mut cfg = opts.machine(DispatchPolicy::LocalityAware);
-    cfg.pcu.operand_entries = operand_entries;
-    cfg.pcu.exec_width = exec_width;
-    let mut sys = System::new(cfg, store);
-    sys.add_workload(trace, (0..cfg.cores).collect());
-    sys.run(CYCLE_LIMIT).cycles
-}
+const ENTRIES: [usize; 5] = [1, 2, 4, 8, 16];
+const WIDTHS: [usize; 3] = [1, 2, 4];
 
 fn main() {
     let opts = ExpOptions::from_args();
+    let params = opts.workload_params();
+
+    // One spec per distinct (workload, entries, width) point; the
+    // default point (4, 1) doubles as the baseline of both sweeps.
+    let mut batch = Batch::new();
+    let cells: Vec<(Vec<usize>, Vec<usize>)> = SWEEP
+        .iter()
+        .map(|&w| {
+            let mut slot = |entries, width| {
+                let mut cfg = opts.machine(DispatchPolicy::LocalityAware);
+                cfg.pcu.operand_entries = entries;
+                cfg.pcu.exec_width = width;
+                batch.push(RunSpec::sized(cfg, params, w, InputSize::Medium))
+            };
+            let by_entries: Vec<usize> = ENTRIES.iter().map(|&e| slot(e, 1)).collect();
+            let baseline = by_entries[2]; // (4, 1)
+            let by_width: Vec<usize> = WIDTHS
+                .iter()
+                .map(|&wd| if wd == 1 { baseline } else { slot(4, wd) })
+                .collect();
+            (by_entries, by_width)
+        })
+        .collect();
+    let results = batch.run(opts.jobs);
 
     print_title("Fig. 11a — operand-buffer size sweep (speedup vs 4 entries)");
     print_cols("workload", &["1", "2", "4", "8", "16"]);
-    let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); 5];
-    for w in SWEEP {
-        let baseline = run_with(&opts, w, 4, 1) as f64;
+    let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); ENTRIES.len()];
+    for (w, (by_entries, _)) in SWEEP.iter().zip(&cells) {
+        let baseline = results[by_entries[2]].cycles as f64;
         let mut row = Vec::new();
-        for (i, entries) in [1usize, 2, 4, 8, 16].iter().enumerate() {
-            let s = baseline / run_with(&opts, w, *entries, 1) as f64;
+        for (i, &cell) in by_entries.iter().enumerate() {
+            let s = baseline / results[cell].cycles as f64;
             per_size[i].push(s);
             row.push(s);
         }
@@ -53,12 +69,12 @@ fn main() {
 
     print_title("Fig. 11b — execution-width sweep (speedup vs width 1)");
     print_cols("workload", &["1", "2", "4"]);
-    let mut per_w: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    for w in SWEEP {
-        let baseline = run_with(&opts, w, 4, 1) as f64;
+    let mut per_w: Vec<Vec<f64>> = vec![Vec::new(); WIDTHS.len()];
+    for (w, (_, by_width)) in SWEEP.iter().zip(&cells) {
+        let baseline = results[by_width[0]].cycles as f64;
         let mut row = Vec::new();
-        for (i, width) in [1usize, 2, 4].iter().enumerate() {
-            let s = baseline / run_with(&opts, w, 4, *width) as f64;
+        for (i, &cell) in by_width.iter().enumerate() {
+            let s = baseline / results[cell].cycles as f64;
             per_w[i].push(s);
             row.push(s);
         }

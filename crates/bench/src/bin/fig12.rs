@@ -8,17 +8,36 @@
 //! memory-side PCUs stay a tiny fraction (~1.4 %) of HMC energy.
 //!
 //! ```text
-//! cargo run -p pei-bench --release --bin fig12 [-- --scale full]
+//! cargo run -p pei-bench --release --bin fig12 [-- --scale full --jobs 8]
 //! ```
 
-use pei_bench::{geomean, print_cols, print_row, print_title, run_ideal_host, run_one, ExpOptions};
+use pei_bench::runner::{Batch, RunSpec};
+use pei_bench::{geomean, print_cols, print_row, print_title, ExpOptions};
 use pei_core::DispatchPolicy;
 use pei_system::RunResult;
 use pei_workloads::{InputSize, Workload};
 
 fn main() {
     let opts = ExpOptions::from_args();
+    let params = opts.workload_params();
+
+    let mut batch = Batch::new();
+    let mut cells: Vec<(InputSize, Workload, [usize; 4])> = Vec::new();
     for size in InputSize::ALL {
+        for w in Workload::ALL {
+            let mut slot = |cfg| batch.push(RunSpec::sized(cfg, params, w, size));
+            let grid = [
+                slot(opts.ideal_machine()),
+                slot(opts.machine(DispatchPolicy::HostOnly)),
+                slot(opts.machine(DispatchPolicy::PimOnly)),
+                slot(opts.machine(DispatchPolicy::LocalityAware)),
+            ];
+            cells.push((size, w, grid));
+        }
+    }
+    let results = batch.run(opts.jobs);
+
+    for &size in &InputSize::ALL {
         print_title(&format!(
             "Fig. 12 ({size}) — memory-hierarchy energy normalized to Ideal-Host"
         ));
@@ -30,24 +49,25 @@ fn main() {
         let mut pim_all = Vec::new();
         let mut la_all = Vec::new();
         let mut share_all = Vec::new();
-        for w in Workload::ALL {
-            let ideal = run_ideal_host(&opts, w, size);
-            let host = run_one(&opts, w, size, DispatchPolicy::HostOnly);
-            let pim = run_one(&opts, w, size, DispatchPolicy::PimOnly);
-            let la = run_one(&opts, w, size, DispatchPolicy::LocalityAware);
+        for &(s, w, [ideal, host, pim, la]) in &cells {
+            if s != size {
+                continue;
+            }
+            let (ideal, host, pim, la) =
+                (&results[ideal], &results[host], &results[pim], &results[la]);
             let n = |r: &RunResult| r.energy.total() / ideal.energy.total();
             let share = if pim.energy.hmc_total() > 0.0 {
                 100.0 * pim.energy.pcu_mem_share() / pim.energy.hmc_total()
             } else {
                 0.0
             };
-            host_all.push(n(&host));
-            pim_all.push(n(&pim));
-            la_all.push(n(&la));
+            host_all.push(n(host));
+            pim_all.push(n(pim));
+            la_all.push(n(la));
             if share > 0.0 {
                 share_all.push(share);
             }
-            print_row(w.label(), &[n(&host), n(&pim), n(&la), share]);
+            print_row(w.label(), &[n(host), n(pim), n(la), share]);
         }
         print_row(
             "GM",

@@ -5,30 +5,46 @@
 //! cache-resident graphs and *wins* (up to ~53 %) on the large ones.
 //!
 //! ```text
-//! cargo run -p pei-bench --release --bin fig2 [-- --scale full]
+//! cargo run -p pei-bench --release --bin fig2 [-- --scale full --jobs 8]
 //! ```
 
-use pei_bench::{nine_graphs, print_cols, print_row, print_title, run_trace, ExpOptions};
+use pei_bench::runner::{Batch, RunSpec};
+use pei_bench::{nine_graphs, print_cols, print_row, print_title, ExpOptions};
 use pei_core::DispatchPolicy;
-use pei_workloads::workload::Workload;
-use pei_workloads::Graph;
+use pei_workloads::Workload;
 
 fn main() {
     let opts = ExpOptions::from_args();
-    let params = pei_bench::ExpOptions::workload_params(&opts);
+    let params = opts.workload_params();
+
+    let mut batch = Batch::new();
+    let graphs = nine_graphs(params.l3_bytes);
+    let cells: Vec<[usize; 2]> = graphs
+        .iter()
+        .map(|&(_, n)| {
+            let mut slot = |policy| {
+                batch.push(RunSpec::on_graph(
+                    opts.machine(policy),
+                    params,
+                    Workload::Pr,
+                    n,
+                    10,
+                    params.seed ^ n as u64,
+                ))
+            };
+            [
+                slot(DispatchPolicy::HostOnly),
+                slot(DispatchPolicy::PimOnly),
+            ]
+        })
+        .collect();
+    let results = batch.run(opts.jobs);
 
     print_title("Fig. 2 — PageRank speedup of memory-side atomic addition vs host-side");
     print_cols("graph", &["vertices", "host_cyc", "pim_cyc", "speedup"]);
 
-    for (name, n) in nine_graphs(params.l3_bytes) {
-        let mk = || {
-            let g = Graph::power_law(n, 10, params.seed ^ n as u64);
-            Workload::Pr.build_on_graph(g, &params)
-        };
-        let (store, trace) = mk();
-        let host = run_trace(&opts, store, trace, DispatchPolicy::HostOnly);
-        let (store, trace) = mk();
-        let pim = run_trace(&opts, store, trace, DispatchPolicy::PimOnly);
+    for (&(name, n), [host, pim]) in graphs.iter().zip(&cells) {
+        let (host, pim) = (&results[*host], &results[*pim]);
         let speedup = host.cycles as f64 / pim.cycles as f64;
         print_row(
             name,

@@ -7,33 +7,48 @@
 //! beats both on medium graph inputs.
 //!
 //! ```text
-//! cargo run -p pei-bench --release --bin fig6 [-- --scale full]
+//! cargo run -p pei-bench --release --bin fig6 [-- --scale full --jobs 8]
 //! ```
 
-use pei_bench::{geomean, print_cols, print_row, print_title, run_ideal_host, run_one, ExpOptions};
+use pei_bench::runner::{Batch, RunSpec};
+use pei_bench::{geomean, print_cols, print_row, print_title, ExpOptions};
 use pei_core::DispatchPolicy;
 use pei_workloads::{InputSize, Workload};
 
 fn main() {
     let opts = ExpOptions::from_args();
+
+    // The whole grid — 3 sizes × 10 workloads × 4 configs — in one
+    // batch, so large cells overlap with small ones across sizes.
+    let mut batch = Batch::new();
+    let params = opts.workload_params();
+    let mut cells: Vec<(InputSize, Workload, [usize; 4])> = Vec::new();
+    for size in InputSize::ALL {
+        for w in Workload::ALL {
+            let mut slot = |cfg| batch.push(RunSpec::sized(cfg, params, w, size));
+            let ideal = slot(opts.ideal_machine());
+            let host = slot(opts.machine(DispatchPolicy::HostOnly));
+            let pim = slot(opts.machine(DispatchPolicy::PimOnly));
+            let la = slot(opts.machine(DispatchPolicy::LocalityAware));
+            cells.push((size, w, [ideal, host, pim, la]));
+        }
+    }
+    let results = batch.run(opts.jobs);
+
     for size in InputSize::ALL {
         print_title(&format!("Fig. 6 ({size}) — speedup over Ideal-Host"));
         print_cols("workload", &["host-only", "pim-only", "loc-aware", "pim%"]);
         let mut host_all = Vec::new();
         let mut pim_all = Vec::new();
         let mut la_all = Vec::new();
-        for w in Workload::ALL {
-            let ideal = run_ideal_host(&opts, w, size);
-            let host = run_one(&opts, w, size, DispatchPolicy::HostOnly);
-            let pim = run_one(&opts, w, size, DispatchPolicy::PimOnly);
-            let la = run_one(&opts, w, size, DispatchPolicy::LocalityAware);
-            let s = |r: &pei_system::RunResult| ideal.cycles as f64 / r.cycles as f64;
-            host_all.push(s(&host));
-            pim_all.push(s(&pim));
-            la_all.push(s(&la));
+        for (_, w, [ideal, host, pim, la]) in cells.iter().filter(|(s, ..)| *s == size) {
+            let s = |i: usize| results[*ideal].cycles as f64 / results[i].cycles as f64;
+            host_all.push(s(*host));
+            pim_all.push(s(*pim));
+            la_all.push(s(*la));
             print_row(
                 w.label(),
-                &[s(&host), s(&pim), s(&la), 100.0 * la.pim_fraction],
+                &[s(*host), s(*pim), s(*la), 100.0 * results[*la].pim_fraction],
             );
         }
         print_row(

@@ -6,25 +6,45 @@
 //! in SC).
 //!
 //! ```text
-//! cargo run -p pei-bench --release --bin fig7 [-- --scale full]
+//! cargo run -p pei-bench --release --bin fig7 [-- --scale full --jobs 8]
 //! ```
 
-use pei_bench::{print_cols, print_row, print_title, run_ideal_host, run_one, ExpOptions};
+use pei_bench::runner::{Batch, RunSpec};
+use pei_bench::{print_cols, print_row, print_title, ExpOptions};
 use pei_core::DispatchPolicy;
 use pei_workloads::{InputSize, Workload};
 
 fn main() {
     let opts = ExpOptions::from_args();
+
+    let mut batch = Batch::new();
+    let params = opts.workload_params();
+    let mut cells: Vec<(InputSize, Workload, [usize; 3])> = Vec::new();
+    for size in InputSize::ALL {
+        for w in Workload::ALL {
+            let mut slot = |cfg| batch.push(RunSpec::sized(cfg, params, w, size));
+            let ideal = slot(opts.ideal_machine());
+            let host = slot(opts.machine(DispatchPolicy::HostOnly));
+            let pim = slot(opts.machine(DispatchPolicy::PimOnly));
+            cells.push((size, w, [ideal, host, pim]));
+        }
+    }
+    let results = batch.run(opts.jobs);
+
     for size in InputSize::ALL {
         print_title(&format!(
             "Fig. 7 ({size}) — off-chip bytes normalized to Ideal-Host"
         ));
         print_cols("workload", &["host-only", "pim-only"]);
-        for w in Workload::ALL {
-            let ideal = run_ideal_host(&opts, w, size).offchip_bytes.max(1) as f64;
-            let host = run_one(&opts, w, size, DispatchPolicy::HostOnly).offchip_bytes as f64;
-            let pim = run_one(&opts, w, size, DispatchPolicy::PimOnly).offchip_bytes as f64;
-            print_row(w.label(), &[host / ideal, pim / ideal]);
+        for (_, w, [ideal, host, pim]) in cells.iter().filter(|(s, ..)| *s == size) {
+            let base = results[*ideal].offchip_bytes.max(1) as f64;
+            print_row(
+                w.label(),
+                &[
+                    results[*host].offchip_bytes as f64 / base,
+                    results[*pim].offchip_bytes as f64 / base,
+                ],
+            );
         }
     }
 }

@@ -7,40 +7,54 @@
 //! of the two static policies everywhere.
 //!
 //! ```text
-//! cargo run -p pei-bench --release --bin fig8 [-- --scale full]
+//! cargo run -p pei-bench --release --bin fig8 [-- --scale full --jobs 8]
 //! ```
 
-use pei_bench::{nine_graphs, print_cols, print_row, print_title, run_trace, ExpOptions};
+use pei_bench::runner::{Batch, RunSpec};
+use pei_bench::{nine_graphs, print_cols, print_row, print_title, ExpOptions};
 use pei_core::DispatchPolicy;
-use pei_workloads::workload::Workload;
-use pei_workloads::Graph;
+use pei_workloads::Workload;
 
 fn main() {
     let opts = ExpOptions::from_args();
     let params = opts.workload_params();
 
+    let mut batch = Batch::new();
+    let graphs = nine_graphs(params.l3_bytes);
+    let cells: Vec<[usize; 3]> = graphs
+        .iter()
+        .map(|&(_, n)| {
+            let mut slot = |policy| {
+                batch.push(RunSpec::on_graph(
+                    opts.machine(policy),
+                    params,
+                    Workload::Pr,
+                    n,
+                    10,
+                    params.seed ^ n as u64,
+                ))
+            };
+            [
+                slot(DispatchPolicy::HostOnly),
+                slot(DispatchPolicy::PimOnly),
+                slot(DispatchPolicy::LocalityAware),
+            ]
+        })
+        .collect();
+    let results = batch.run(opts.jobs);
+
     print_title("Fig. 8 — PageRank vs graph size (normalized to Host-Only)");
     print_cols("graph", &["host-only", "pim-only", "loc-aware", "pim%"]);
 
-    for (name, n) in nine_graphs(params.l3_bytes) {
-        let mk = || {
-            let g = Graph::power_law(n, 10, params.seed ^ n as u64);
-            Workload::Pr.build_on_graph(g, &params)
-        };
-        let (store, trace) = mk();
-        let host = run_trace(&opts, store, trace, DispatchPolicy::HostOnly);
-        let (store, trace) = mk();
-        let pim = run_trace(&opts, store, trace, DispatchPolicy::PimOnly);
-        let (store, trace) = mk();
-        let la = run_trace(&opts, store, trace, DispatchPolicy::LocalityAware);
-        let base = host.cycles as f64;
+    for (&(name, _), [host, pim, la]) in graphs.iter().zip(&cells) {
+        let base = results[*host].cycles as f64;
         print_row(
             name,
             &[
                 1.0,
-                base / pim.cycles as f64,
-                base / la.cycles as f64,
-                100.0 * la.pim_fraction,
+                base / results[*pim].cycles as f64,
+                base / results[*la].cycles as f64,
+                100.0 * results[*la].pim_fraction,
             ],
         );
     }

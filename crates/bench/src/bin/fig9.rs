@@ -7,45 +7,14 @@
 //! majority of the 200 mixes.
 //!
 //! ```text
-//! cargo run -p pei-bench --release --bin fig9 [-- --scale full]
+//! cargo run -p pei-bench --release --bin fig9 [-- --scale full --jobs 8]
 //! ```
 
-use pei_bench::{print_cols, print_row, print_title, ExpOptions, Scale, CYCLE_LIMIT};
+use pei_bench::runner::{Batch, RunSpec};
+use pei_bench::{print_cols, print_row, print_title, ExpOptions, Scale};
 use pei_core::DispatchPolicy;
 use pei_engine::SimRng;
-use pei_system::System;
 use pei_workloads::{InputSize, Workload, WorkloadParams};
-
-fn run_mix(
-    opts: &ExpOptions,
-    mix: &[(Workload, InputSize); 2],
-    policy: DispatchPolicy,
-    seed: u64,
-) -> f64 {
-    let cfg = opts.machine(policy);
-    let half = cfg.cores / 2;
-    let base_params = WorkloadParams {
-        threads: half,
-        seed,
-        pei_budget: opts.workload_params().pei_budget / 4,
-        ..opts.workload_params()
-    };
-    // Disjoint heaps: workload B allocates far above workload A.
-    let params_b = WorkloadParams {
-        heap_base: 0x40_0000_0000,
-        seed: seed ^ 0xb,
-        ..base_params
-    };
-    let (mut store, trace_a) = mix[0].0.build(mix[0].1, &base_params);
-    let (store_b, trace_b) = mix[1].0.build(mix[1].1, &params_b);
-    store.merge_from(&store_b);
-
-    let mut sys = System::new(cfg, store);
-    sys.add_workload(trace_a, (0..half).collect());
-    sys.add_workload(trace_b, (half..cfg.cores).collect());
-    let r = sys.run(CYCLE_LIMIT);
-    r.instructions as f64 / r.cycles as f64
-}
 
 fn main() {
     let opts = ExpOptions::from_args();
@@ -53,25 +22,61 @@ fn main() {
         Scale::Quick => 30,
         Scale::Full => 200,
     };
+
+    // All randomness is drawn here, before any simulation: each mix's
+    // workloads, sizes, and input seed are fixed in the specs, so the
+    // table is independent of --jobs (EXPERIMENTS.md, determinism
+    // contract).
     let mut rng = SimRng::seed_from(opts.seed ^ 0xf19);
+    let drawn: Vec<([(Workload, InputSize); 2], u64)> = (0..mixes)
+        .map(|_| {
+            let pick = |rng: &mut SimRng| {
+                let w = Workload::ALL[rng.gen_range(Workload::ALL.len() as u64) as usize];
+                let s = InputSize::ALL[rng.gen_range(3) as usize];
+                (w, s)
+            };
+            let mix = [pick(&mut rng), pick(&mut rng)];
+            (mix, rng.next_u64())
+        })
+        .collect();
+
+    let mut batch = Batch::new();
+    let cells: Vec<[usize; 3]> = drawn
+        .iter()
+        .map(|&(mix, seed)| {
+            let mut slot = |policy| {
+                let cfg = opts.machine(policy);
+                let base_params = WorkloadParams {
+                    threads: cfg.cores / 2,
+                    seed,
+                    pei_budget: opts.workload_params().pei_budget / 4,
+                    ..opts.workload_params()
+                };
+                // Disjoint heaps: workload B allocates far above A.
+                let params_b = WorkloadParams {
+                    heap_base: 0x40_0000_0000,
+                    seed: seed ^ 0xb,
+                    ..base_params
+                };
+                batch.push(RunSpec::mix(cfg, base_params, params_b, mix[0], mix[1]))
+            };
+            [
+                slot(DispatchPolicy::HostOnly),
+                slot(DispatchPolicy::LocalityAware),
+                slot(DispatchPolicy::PimOnly),
+            ]
+        })
+        .collect();
+    let results = batch.run(opts.jobs);
+
     print_title("Fig. 9 — multiprogrammed mixes (sum-of-IPCs vs Host-Only)");
     print_cols("mix", &["loc-aware", "pim-only"]);
 
     let mut la_beats_host = 0;
     let mut la_beats_both = 0;
-    for _ in 0..mixes {
-        let pick = |rng: &mut SimRng| {
-            let w = Workload::ALL[rng.gen_range(Workload::ALL.len() as u64) as usize];
-            let s = InputSize::ALL[rng.gen_range(3) as usize];
-            (w, s)
-        };
-        let mix = [pick(&mut rng), pick(&mut rng)];
-        let seed = rng.next_u64();
-        let host = run_mix(&opts, &mix, DispatchPolicy::HostOnly, seed);
-        let la = run_mix(&opts, &mix, DispatchPolicy::LocalityAware, seed);
-        let pim = run_mix(&opts, &mix, DispatchPolicy::PimOnly, seed);
-        let la_n = la / host;
-        let pim_n = pim / host;
+    for ((mix, _), [host, la, pim]) in drawn.iter().zip(&cells) {
+        let la_n = results[*la].ipc() / results[*host].ipc();
+        let pim_n = results[*pim].ipc() / results[*host].ipc();
         if la_n >= 0.999 {
             la_beats_host += 1;
         }

@@ -7,37 +7,50 @@
 //! (monitor) — the cost-reduced structures are essentially free.
 //!
 //! ```text
-//! cargo run -p pei-bench --release --bin pmu_overhead [-- --scale full]
+//! cargo run -p pei-bench --release --bin pmu_overhead [-- --scale full --jobs 8]
 //! ```
 
-use pei_bench::{geomean, print_cols, print_row, print_title, ExpOptions, CYCLE_LIMIT};
+use pei_bench::runner::{Batch, RunSpec};
+use pei_bench::{geomean, print_cols, print_row, print_title, ExpOptions};
 use pei_core::DispatchPolicy;
-use pei_system::System;
 use pei_workloads::{InputSize, Workload};
-
-fn run_variant(opts: &ExpOptions, w: Workload, ideal_dir: bool, ideal_mon: bool) -> u64 {
-    let params = opts.workload_params();
-    let (store, trace) = w.build(InputSize::Medium, &params);
-    let mut cfg = opts.machine(DispatchPolicy::LocalityAware);
-    cfg.ideal_dir = ideal_dir;
-    cfg.ideal_mon = ideal_mon;
-    let mut sys = System::new(cfg, store);
-    sys.add_workload(trace, (0..cfg.cores).collect());
-    sys.run(CYCLE_LIMIT).cycles
-}
 
 fn main() {
     let opts = ExpOptions::from_args();
+    let params = opts.workload_params();
+
+    // Four PMU variants per workload: (ideal_dir, ideal_mon) in
+    // {(f,f), (t,f), (f,t), (t,t)}.
+    let mut batch = Batch::new();
+    let cells: Vec<[usize; 4]> = Workload::ALL
+        .iter()
+        .map(|&w| {
+            let mut slot = |ideal_dir, ideal_mon| {
+                let mut cfg = opts.machine(DispatchPolicy::LocalityAware);
+                cfg.ideal_dir = ideal_dir;
+                cfg.ideal_mon = ideal_mon;
+                batch.push(RunSpec::sized(cfg, params, w, InputSize::Medium))
+            };
+            [
+                slot(false, false),
+                slot(true, false),
+                slot(false, true),
+                slot(true, true),
+            ]
+        })
+        .collect();
+    let results = batch.run(opts.jobs);
+
     print_title("§7.6 — speedup from idealizing PMU structures (Locality-Aware, medium inputs)");
     print_cols("workload", &["ideal-dir", "ideal-mon", "ideal-both"]);
     let mut d = Vec::new();
     let mut m = Vec::new();
     let mut b = Vec::new();
-    for w in Workload::ALL {
-        let real = run_variant(&opts, w, false, false) as f64;
-        let idir = real / run_variant(&opts, w, true, false) as f64;
-        let imon = real / run_variant(&opts, w, false, true) as f64;
-        let both = real / run_variant(&opts, w, true, true) as f64;
+    for (w, [real, idir, imon, both]) in Workload::ALL.iter().zip(&cells) {
+        let real = results[*real].cycles as f64;
+        let idir = real / results[*idir].cycles as f64;
+        let imon = real / results[*imon].cycles as f64;
+        let both = real / results[*both].cycles as f64;
         d.push(idir);
         m.push(imon);
         b.push(both);

@@ -8,11 +8,22 @@
 //! * `--paper` — use the paper-scale machine (16 cores, 16 MB L3,
 //!   8 HMCs) instead of the proportionally scaled default (4 cores,
 //!   1 MB L3, 1 HMC);
-//! * `--seed <n>` — RNG seed.
+//! * `--seed <n>` — RNG seed;
+//! * `--jobs <n>` — worker threads for the experiment grid (default:
+//!   available parallelism). Tables are byte-identical for every value —
+//!   see [`runner`] and the determinism contract in EXPERIMENTS.md.
 //!
+//! Binaries describe their grid as [`runner::RunSpec`]s collected into a
+//! [`runner::Batch`], run it once, and print from the ordered results.
 //! Results print as aligned text tables whose rows mirror the series of
 //! the corresponding paper figure; EXPERIMENTS.md records a measured run
 //! against the paper's claims.
+//!
+//! This crate's place in the workspace is mapped in DESIGN.md §5.
+
+#![warn(missing_docs)]
+
+pub mod runner;
 
 use pei_core::DispatchPolicy;
 use pei_system::{MachineConfig, RunResult, System};
@@ -36,6 +47,29 @@ pub struct ExpOptions {
     pub paper_machine: bool,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for the experiment grid (`>= 1`). Affects
+    /// wall-clock time only, never results.
+    pub jobs: usize,
+}
+
+impl Default for ExpOptions {
+    /// Quick scale, scaled machine, the default seed, and one worker
+    /// per available hardware thread.
+    fn default() -> Self {
+        ExpOptions {
+            scale: Scale::Quick,
+            paper_machine: false,
+            seed: 0x5eed,
+            jobs: default_jobs(),
+        }
+    }
+}
+
+/// The default `--jobs` value: available hardware parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl ExpOptions {
@@ -45,11 +79,7 @@ impl ExpOptions {
     ///
     /// Panics with a usage message on unknown arguments.
     pub fn from_args() -> Self {
-        let mut opts = ExpOptions {
-            scale: Scale::Quick,
-            paper_machine: false,
-            seed: 0x5eed,
-        };
+        let mut opts = ExpOptions::default();
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -69,10 +99,23 @@ impl ExpOptions {
                         .parse()
                         .expect("seed must be an integer");
                 }
-                other => panic!("unknown argument `{other}` (--scale, --paper, --seed)"),
+                "--jobs" => {
+                    opts.jobs = args
+                        .next()
+                        .expect("--jobs needs a number")
+                        .parse()
+                        .expect("jobs must be an integer");
+                    assert!(opts.jobs >= 1, "--jobs must be at least 1");
+                }
+                other => panic!("unknown argument `{other}` (--scale, --paper, --seed, --jobs)"),
             }
         }
         opts
+    }
+
+    /// The Ideal-Host reference machine (§7) at the chosen scale.
+    pub fn ideal_machine(&self) -> MachineConfig {
+        self.machine(DispatchPolicy::HostOnly).ideal_host()
     }
 
     /// The machine config for `policy` at the chosen machine scale.

@@ -1,0 +1,333 @@
+//! Deterministic parallel execution of experiment grids.
+//!
+//! Every figure of the paper's evaluation (§7) is a grid of *mutually
+//! independent* simulations: workloads × input sizes × machine
+//! configurations, 200 multiprogrammed mixes, parameter sweeps. This
+//! module turns one grid cell into a value — a [`RunSpec`] — and fans a
+//! batch of them out over a [`std::thread::scope`] worker pool:
+//!
+//! * **Self-contained jobs.** A `RunSpec` carries everything a cell
+//!   needs (machine config, workload parameters, input description,
+//!   cycle limit), so running it is a pure function of the spec. Input
+//!   seeds are fixed when the spec is *built*, never drawn during
+//!   execution, which makes results independent of scheduling.
+//! * **Work queue.** Workers claim specs from a shared atomic counter —
+//!   no per-thread partitioning, so one slow cell (a large PIM-Only run)
+//!   doesn't idle the rest of the pool.
+//! * **Ordered collection.** Each result lands in its spec's slot, and
+//!   callers print only after [`Batch::run`] returns — output tables are
+//!   byte-identical for any `--jobs` value (the determinism contract,
+//!   EXPERIMENTS.md).
+//!
+//! Workload inputs come from the process-wide cache in
+//! [`pei_workloads::cache`], so the four configurations of one cell
+//! share one generated graph no matter which workers execute them.
+//!
+//! # Examples
+//!
+//! ```
+//! use pei_bench::runner::{Batch, RunSpec};
+//! use pei_bench::ExpOptions;
+//! use pei_core::DispatchPolicy;
+//! use pei_workloads::{InputSize, Workload};
+//!
+//! let opts = ExpOptions::default();
+//! let params = opts.workload_params();
+//! let mut batch = Batch::new();
+//! let host = batch.push(RunSpec::sized(
+//!     opts.machine(DispatchPolicy::HostOnly),
+//!     params,
+//!     Workload::Atf,
+//!     InputSize::Small,
+//! ));
+//! let pim = batch.push(RunSpec::sized(
+//!     opts.machine(DispatchPolicy::PimOnly),
+//!     params,
+//!     Workload::Atf,
+//!     InputSize::Small,
+//! ));
+//! let results = batch.run(2);
+//! assert!(results[host].cycles > 0 && results[pim].cycles > 0);
+//! ```
+
+use crate::CYCLE_LIMIT;
+use pei_system::{MachineConfig, RunResult, System};
+use pei_workloads::{cache, InputSize, Workload, WorkloadParams};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The input of one simulation cell.
+#[derive(Debug, Clone)]
+pub enum SpecInput {
+    /// A workload at one of the paper's three input sizes (§7.1).
+    Sized {
+        /// Which workload.
+        workload: Workload,
+        /// Which input size.
+        size: InputSize,
+    },
+    /// A graph workload on an explicitly sized power-law graph (the
+    /// Fig. 2 / Fig. 8 nine-graph series).
+    OnGraph {
+        /// Which (graph) workload.
+        workload: Workload,
+        /// Vertex count.
+        vertices: usize,
+        /// Average out-degree.
+        avg_deg: usize,
+        /// Graph generation seed.
+        graph_seed: u64,
+    },
+    /// Two co-scheduled workloads splitting the machine's cores in half
+    /// (the Fig. 9 multiprogrammed mixes, §7.3). Workload `b` builds
+    /// with its own parameters (disjoint heap, derived seed).
+    Mix {
+        /// First workload and its input size (cores `0..n/2`).
+        a: (Workload, InputSize),
+        /// Second workload and its input size (cores `n/2..n`).
+        b: (Workload, InputSize),
+        /// Build parameters for workload `b`.
+        params_b: WorkloadParams,
+    },
+}
+
+/// One simulation cell: everything needed to run it, fixed up front.
+///
+/// The per-spec seed lives in `params.seed` (and, for graph series, in
+/// the explicit `graph_seed`); specs never draw randomness while
+/// running, so a batch's results depend only on its specs — not on
+/// `--jobs`, scheduling, or which worker picks up which cell.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// The machine to simulate (policy, scale, and any sweep overrides
+    /// are all baked into the config — it is `Copy`, so sweeps mutate a
+    /// local copy before pushing the spec).
+    pub cfg: MachineConfig,
+    /// Workload build parameters (threads, footprint, budget, seed).
+    pub params: WorkloadParams,
+    /// What to simulate.
+    pub input: SpecInput,
+    /// Upper bound on simulated cycles.
+    pub max_cycles: u64,
+}
+
+impl RunSpec {
+    /// A cell running `workload` at `size` on `cfg`.
+    pub fn sized(
+        cfg: MachineConfig,
+        params: WorkloadParams,
+        workload: Workload,
+        size: InputSize,
+    ) -> RunSpec {
+        RunSpec {
+            cfg,
+            params,
+            input: SpecInput::Sized { workload, size },
+            max_cycles: CYCLE_LIMIT,
+        }
+    }
+
+    /// A cell running a graph `workload` on an explicit power-law graph.
+    pub fn on_graph(
+        cfg: MachineConfig,
+        params: WorkloadParams,
+        workload: Workload,
+        vertices: usize,
+        avg_deg: usize,
+        graph_seed: u64,
+    ) -> RunSpec {
+        RunSpec {
+            cfg,
+            params,
+            input: SpecInput::OnGraph {
+                workload,
+                vertices,
+                avg_deg,
+                graph_seed,
+            },
+            max_cycles: CYCLE_LIMIT,
+        }
+    }
+
+    /// A multiprogrammed cell: `a` on the lower half of the cores with
+    /// `params`, `b` on the upper half with `params_b`.
+    pub fn mix(
+        cfg: MachineConfig,
+        params: WorkloadParams,
+        params_b: WorkloadParams,
+        a: (Workload, InputSize),
+        b: (Workload, InputSize),
+    ) -> RunSpec {
+        RunSpec {
+            cfg,
+            params,
+            input: SpecInput::Mix { a, b, params_b },
+            max_cycles: CYCLE_LIMIT,
+        }
+    }
+
+    /// Executes this cell to completion. Pure in the spec: equal specs
+    /// produce equal results, on any thread, in any order.
+    pub fn run(&self) -> RunResult {
+        match &self.input {
+            SpecInput::Sized { workload, size } => {
+                let (store, trace) = workload.build(*size, &self.params);
+                System::run_workload(self.cfg, store, trace, self.max_cycles)
+            }
+            SpecInput::OnGraph {
+                workload,
+                vertices,
+                avg_deg,
+                graph_seed,
+            } => {
+                let g = cache::shared_power_law(*vertices, *avg_deg, *graph_seed);
+                let (store, trace) = workload.build_on_graph(g, &self.params);
+                System::run_workload(self.cfg, store, trace, self.max_cycles)
+            }
+            SpecInput::Mix { a, b, params_b } => {
+                let half = self.cfg.cores / 2;
+                let (mut store, trace_a) = a.0.build(a.1, &self.params);
+                let (store_b, trace_b) = b.0.build(b.1, params_b);
+                store.merge_from(&store_b);
+                let mut sys = System::new(self.cfg, store);
+                sys.add_workload(trace_a, (0..half).collect());
+                sys.add_workload(trace_b, (half..self.cfg.cores).collect());
+                sys.run(self.max_cycles)
+            }
+        }
+    }
+}
+
+/// An ordered batch of [`RunSpec`]s with slot-indexed results.
+///
+/// Build the batch first (recording each cell's index), run it once,
+/// then print from the returned `Vec` — the index returned by
+/// [`Batch::push`] addresses that spec's result regardless of which
+/// worker executed it or when it finished.
+#[derive(Debug, Default)]
+pub struct Batch {
+    specs: Vec<RunSpec>,
+}
+
+impl Batch {
+    /// An empty batch.
+    pub fn new() -> Batch {
+        Batch::default()
+    }
+
+    /// Queues a spec, returning the index of its result slot.
+    pub fn push(&mut self, spec: RunSpec) -> usize {
+        self.specs.push(spec);
+        self.specs.len() - 1
+    }
+
+    /// Number of queued specs.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Runs every spec on up to `jobs` worker threads and returns the
+    /// results in push order. `jobs == 1` runs inline on the calling
+    /// thread; results are identical either way.
+    pub fn run(self, jobs: usize) -> Vec<RunResult> {
+        run_specs(&self.specs, jobs)
+    }
+}
+
+/// Runs `specs` on up to `jobs` worker threads, returning results in
+/// spec order. The workers share an atomic cursor over the spec list;
+/// each claimed cell writes its result into its own slot, so the output
+/// is a pure function of `specs` for every `jobs >= 1`.
+///
+/// # Panics
+///
+/// Panics if `jobs == 0`, or propagates the panic of any failed cell.
+pub fn run_specs(specs: &[RunSpec], jobs: usize) -> Vec<RunResult> {
+    assert!(jobs > 0, "--jobs must be at least 1");
+    let workers = jobs.min(specs.len());
+    if workers <= 1 {
+        return specs.iter().map(RunSpec::run).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunResult>>> = specs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                let result = spec.run();
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("worker panicked; result slot poisoned")
+                .expect("every spec gets exactly one result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExpOptions;
+    use pei_core::DispatchPolicy;
+
+    fn tiny_specs() -> Vec<RunSpec> {
+        let opts = ExpOptions {
+            seed: 7,
+            ..ExpOptions::default()
+        };
+        let mut params = opts.workload_params();
+        params.pei_budget = 2_000;
+        let mut specs = Vec::new();
+        for w in [Workload::Atf, Workload::Hj] {
+            for policy in [DispatchPolicy::HostOnly, DispatchPolicy::LocalityAware] {
+                specs.push(RunSpec::sized(
+                    opts.machine(policy),
+                    params,
+                    w,
+                    InputSize::Small,
+                ));
+            }
+        }
+        specs
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let serial = run_specs(&tiny_specs(), 1);
+        let parallel = run_specs(&tiny_specs(), 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.cycles, p.cycles);
+            assert_eq!(s.instructions, p.instructions);
+            assert_eq!(s.offchip_bytes, p.offchip_bytes);
+        }
+    }
+
+    #[test]
+    fn batch_indices_address_results() {
+        let mut batch = Batch::new();
+        let idx: Vec<usize> = tiny_specs().into_iter().map(|s| batch.push(s)).collect();
+        assert_eq!(batch.len(), idx.len());
+        let results = batch.run(2);
+        assert_eq!(results.len(), idx.len());
+        assert_eq!(idx, (0..results.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "--jobs must be at least 1")]
+    fn zero_jobs_rejected() {
+        run_specs(&[], 0);
+    }
+}

@@ -21,6 +21,8 @@
 //!   dispatch, balanced dispatch (§7.4), and pfence (§3.2).
 //! * [`dispatch`] — the execution-location policies evaluated in §7
 //!   (Host-Only, PIM-Only, Locality-Aware, plus balanced dispatch).
+//!
+//! This crate's place in the workspace is mapped in DESIGN.md §5.
 
 pub mod directory;
 pub mod dispatch;

@@ -21,6 +21,8 @@
 //! let outcome = core.tick(0);
 //! assert!(!outcome.outs.is_empty() || outcome.next.is_some());
 //! ```
+//!
+//! This crate's place in the workspace is mapped in DESIGN.md §5.
 
 pub mod core;
 pub mod tlb;

@@ -86,7 +86,13 @@ impl Op {
 /// resolved *functionally at generation time*, one phase at a time, so the
 /// generator's algorithm state stays consistent with what the simulated
 /// threads have "executed" so far.
-pub trait PhasedTrace {
+///
+/// `Send` is a supertrait so boxed traces (and the [`pei_system`]
+/// `System`s holding them) can move across worker threads in parallel
+/// experiment runners.
+///
+/// [`pei_system`]: ../../pei_system/index.html
+pub trait PhasedTrace: Send {
     /// Number of threads this workload spawns.
     fn threads(&self) -> usize;
 

@@ -20,6 +20,8 @@
 //! assert_eq!(q.pop(), Some((10, "c")));
 //! assert_eq!(q.pop(), None);
 //! ```
+//!
+//! This crate's place in the workspace is mapped in DESIGN.md §5.
 
 pub mod channel;
 pub mod clock;

@@ -22,6 +22,8 @@
 //! assert!(loc.cube.index() < cfg.cubes);
 //! assert!(bank.index() < cfg.banks_per_vault);
 //! ```
+//!
+//! This crate's place in the workspace is mapped in DESIGN.md §5.
 
 pub mod config;
 pub mod ctrl;

@@ -34,6 +34,8 @@
 //! mem.write_u64(Addr(0x100), 42);
 //! assert_eq!(mem.read_u64(Addr(0x100)), 42);
 //! ```
+//!
+//! This crate's place in the workspace is mapped in DESIGN.md §5.
 
 pub mod backing;
 pub mod cache;

@@ -1,0 +1,575 @@
+//! A minimal, dependency-free stand-in for the [`proptest`] crate.
+//!
+//! The workspace builds in hermetic environments without registry
+//! access, so the subset of proptest this repository's property tests
+//! use is reimplemented here: the [`Strategy`] trait (ranges, tuples,
+//! [`Just`], `prop_map`, [`collection::vec`], [`arbitrary::any`]), the
+//! [`proptest!`] test macro with `#![proptest_config(..)]`, weighted
+//! and unweighted [`prop_oneof!`], and the `prop_assert*`/
+//! [`prop_assume!`] macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case reports the generated inputs via
+//!   the assertion message but is not minimised.
+//! - **Deterministic runs.** Inputs derive from a fixed-seed
+//!   xoshiro256** stream, so every `cargo test` run sees the same
+//!   cases. The `.proptest-regressions` files checked in alongside the
+//!   tests are ignored.
+//! - Default case count is 64 per property (the real crate's 256),
+//!   overridable with `ProptestConfig::with_cases`.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+//!
+//! # Examples
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     // In test files, also write `#[test]` above the fn — the shim
+//!     // passes attributes through rather than adding its own.
+//!     #![proptest_config(ProptestConfig::with_cases(32))]
+//!     fn add_commutes(a in 0u32..1000, b in any::<u16>()) {
+//!         prop_assert_eq!(a as u64 + b as u64, b as u64 + a as u64);
+//!     }
+//! }
+//! # add_commutes();
+//! ```
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator feeding the strategies (xoshiro256** with
+/// SplitMix64 seeding, the workspace-standard construction).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// A generator with the fixed harness seed; every test run draws
+    /// the same case stream.
+    pub fn deterministic() -> Self {
+        Self::with_seed(0x5eed_cafe_f00d_d00d)
+    }
+
+    /// A generator seeded from `seed`.
+    pub fn with_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, width)` via 128-bit multiply-shift.
+    pub fn below(&mut self, width: u64) -> u64 {
+        ((self.next_u64() as u128 * width as u128) >> 64) as u64
+    }
+}
+
+/// Why a test case did not pass: filtered out, or failed an assertion.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was rejected by [`prop_assume!`]; it does not count
+    /// toward the case budget.
+    Reject(String),
+    /// A `prop_assert*` failed; the harness panics with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure carrying `msg`.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+
+    /// A rejection carrying `msg`.
+    pub fn reject(msg: String) -> Self {
+        TestCaseError::Reject(msg)
+    }
+}
+
+/// Per-property harness configuration (subset of the real crate's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A recipe for generating test inputs (subset of `proptest::Strategy`,
+/// without shrinking).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy applying `f` to every generated value.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_strategy_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                if lo == 0 && hi as u128 == <$t>::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below((hi - lo) as u64 + 1) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_int_ranges!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_strategy_tuple {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_tuple!(A / a, B / b);
+impl_strategy_tuple!(A / a, B / b, C / c);
+impl_strategy_tuple!(A / a, B / b, C / c, D / d);
+
+/// Weighted choice over boxed alternatives; built by [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// A union over `arms`, each sampled proportionally to its weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, strat) in &self.arms {
+            if pick < *w as u64 {
+                return strat.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights summed incorrectly")
+    }
+}
+
+/// Boxes a strategy for use in heterogeneous [`Union`] arms.
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// `any::<T>()` support (subset of `proptest::arbitrary`).
+pub mod arbitrary {
+    use super::{Strategy, TestRng};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The unconstrained strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length. Only
+    /// `usize` ranges convert, which lets untyped literals like
+    /// `0..100` infer `usize` (mirroring the real crate's `SizeRange`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.lo + rng.below((self.len.hi - self.len.lo) as u64 + 1) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` whose length is drawn from `len` and whose elements are
+    /// drawn independently from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            len: len.into(),
+        }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Defines deterministic property tests: each
+/// `#[test] fn name(pat in strategy, ...) { body }` becomes a zero-arg
+/// test running the body over generated inputs. Unlike the real crate,
+/// the `#[test]` attribute must be written explicitly (it is passed
+/// through along with doc comments). An optional leading
+/// `#![proptest_config(..)]` sets the case count for every property in
+/// the block.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic();
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            while accepted < config.cases {
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => accepted += 1,
+                    Err($crate::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        assert!(
+                            rejected < config.cases.saturating_mul(256).max(1024),
+                            "{}: too many prop_assume! rejections ({rejected})",
+                            stringify!($name),
+                        );
+                    }
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("{} failed on case {}: {}", stringify!($name), accepted, msg);
+                    }
+                }
+            }
+        }
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Chooses among strategies, optionally weighted (`w => strategy`).
+/// All arms must produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($weight as u32, $crate::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, $crate::boxed($strat))),+])
+    };
+}
+
+/// Fails the current case with a message if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case if the two expressions are not equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "{} (left: {:?}, right: {:?})",
+            format!($($fmt)+), a, b
+        );
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($a), stringify!($b), a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "{} (both: {:?})", format!($($fmt)+), a);
+    }};
+}
+
+/// Rejects the current case (without failing) if the condition is
+/// false; the harness draws a replacement case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Toy {
+        A(u32),
+        B,
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_any(a in 3u32..9, b in any::<u16>(), c in 0u8..=255) {
+            prop_assert!((3..9).contains(&a));
+            let _ = (b, c);
+        }
+
+        #[test]
+        fn tuples_and_vec(pairs in crate::collection::vec((0u64..64, any::<bool>()), 0..20)) {
+            prop_assert!(pairs.len() < 20);
+            for (v, _) in pairs {
+                prop_assert!(v < 64, "v = {}", v);
+            }
+        }
+
+        #[test]
+        fn assume_filters(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn oneof_weighted(v in prop_oneof![
+            3 => (1u32..16).prop_map(Toy::A),
+            2 => Just(Toy::B),
+        ]) {
+            match v {
+                Toy::A(x) => prop_assert!((1..16).contains(&x)),
+                Toy::B => {}
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_streams_match() {
+        let mut a = crate::TestRng::deterministic();
+        let mut b = crate::TestRng::deterministic();
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

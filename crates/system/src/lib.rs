@@ -28,6 +28,10 @@
 //! assert!(result.cycles > 0);
 //! assert_eq!(result.instructions, 17);
 //! ```
+//!
+//! This crate's place in the workspace is mapped in DESIGN.md §5.
+
+#![warn(missing_docs)]
 
 pub mod config;
 pub mod energy;

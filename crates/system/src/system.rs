@@ -109,6 +109,14 @@ pub struct System {
     finish_time: Cycle,
 }
 
+// Parallel experiment runners move whole `System`s (including their
+// boxed traces) onto worker threads; keep that property explicit so a
+// non-Send field is caught here, not in a downstream crate.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<System>();
+};
+
 impl System {
     /// Builds an idle machine per `cfg`, with `store` as the simulated
     /// physical memory contents (typically a clone of the store the
@@ -161,6 +169,43 @@ impl System {
             finish_time: 0,
             cfg,
         }
+    }
+
+    /// Spec-driven one-call entry: builds a machine per `cfg`, assigns
+    /// `trace` to all of its cores, and runs to completion (or
+    /// `max_cycles`). This is the whole lifecycle of one experiment
+    /// cell, packaged so batch runners (`pei-bench`'s `runner` module)
+    /// can ship it to a worker thread as a single pure function of its
+    /// arguments.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pei_system::{MachineConfig, System};
+    /// use pei_core::DispatchPolicy;
+    /// use pei_cpu::trace::{Op, VecPhases};
+    /// use pei_mem::BackingStore;
+    ///
+    /// let mut store = BackingStore::new();
+    /// let a = store.alloc_block();
+    /// let cfg = MachineConfig::scaled(DispatchPolicy::LocalityAware);
+    /// let r = System::run_workload(
+    ///     cfg,
+    ///     store,
+    ///     Box::new(VecPhases::single(vec![Op::load(a)])),
+    ///     1_000_000,
+    /// );
+    /// assert_eq!(r.instructions, 1);
+    /// ```
+    pub fn run_workload(
+        cfg: MachineConfig,
+        store: BackingStore,
+        trace: Box<dyn PhasedTrace>,
+        max_cycles: Cycle,
+    ) -> RunResult {
+        let mut sys = System::new(cfg, store);
+        sys.add_workload(trace, (0..cfg.cores).collect());
+        sys.run(max_cycles)
     }
 
     /// Assigns a workload to a set of cores (threads map to `cores` in

@@ -22,6 +22,8 @@
 //! assert_eq!(BLOCK_BYTES, 64);
 //! assert!(b.contains(a));
 //! ```
+//!
+//! This crate's place in the workspace is mapped in DESIGN.md §5.
 
 pub mod ids;
 pub mod mem;

@@ -16,6 +16,7 @@ use pei_mem::BackingStore;
 use pei_types::{OperandValue, PimOpKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Emits the ops for scanning vertex `v`'s out-edges: the `xadj` load,
 /// adjacency-block loads (one per 16 edges), and a per-edge callback.
@@ -93,7 +94,7 @@ impl Chunker {
 /// teen vertex — one `pim.inc8` per edge from a teen.
 #[derive(Debug)]
 pub struct Atf {
-    g: Graph,
+    g: Arc<Graph>,
     layout: GraphLayout,
     teen: Vec<bool>,
     followers: Vec<u64>,
@@ -110,7 +111,8 @@ impl Atf {
 
     /// Builds the workload over `g`, returning the generator and the
     /// initial simulated memory.
-    pub fn new(g: Graph, params: &WorkloadParams) -> (Self, BackingStore) {
+    pub fn new(g: impl Into<Arc<Graph>>, params: &WorkloadParams) -> (Self, BackingStore) {
+        let g = g.into();
         let mut store = BackingStore::with_base(params.heap_base);
         let layout = GraphLayout::alloc(&mut store, &g, 1);
         // Follower counters start at zero (already zeroed memory).
@@ -206,7 +208,7 @@ enum PrStage {
 /// recompute loop (lines 10 and 13–18 of Figure 1).
 #[derive(Debug)]
 pub struct Pagerank {
-    g: Graph,
+    g: Arc<Graph>,
     layout: GraphLayout,
     pagerank: Vec<f64>,
     next_pagerank: Vec<f64>,
@@ -226,7 +228,12 @@ impl Pagerank {
     pub const FIELD_NEXT: usize = 1;
 
     /// Builds the workload with `max_iter` PageRank iterations.
-    pub fn new(g: Graph, params: &WorkloadParams, max_iter: usize) -> (Self, BackingStore) {
+    pub fn new(
+        g: impl Into<Arc<Graph>>,
+        params: &WorkloadParams,
+        max_iter: usize,
+    ) -> (Self, BackingStore) {
+        let g = g.into();
         let mut store = BackingStore::with_base(params.heap_base);
         let layout = GraphLayout::alloc(&mut store, &g, 2);
         let n = g.n;
@@ -369,7 +376,7 @@ impl PhasedTrace for Pagerank {
 /// a per-vertex distance field over an active frontier.
 #[derive(Debug)]
 pub struct FrontierMin {
-    g: Graph,
+    g: Arc<Graph>,
     layout: GraphLayout,
     dist: Vec<u64>,
     frontier: Vec<u32>,
@@ -389,23 +396,32 @@ impl FrontierMin {
     pub const FIELD_DIST: usize = 0;
 
     /// Level-synchronous BFS from `src`.
-    pub fn bfs(g: Graph, params: &WorkloadParams, src: usize) -> (Self, BackingStore) {
+    pub fn bfs(
+        g: impl Into<Arc<Graph>>,
+        params: &WorkloadParams,
+        src: usize,
+    ) -> (Self, BackingStore) {
         Self::build(g, params, src, false, "BFS")
     }
 
     /// Parallel Bellman-Ford from `src` with deterministic edge weights
     /// `1 + (v + w) % 16`.
-    pub fn sssp(g: Graph, params: &WorkloadParams, src: usize) -> (Self, BackingStore) {
+    pub fn sssp(
+        g: impl Into<Arc<Graph>>,
+        params: &WorkloadParams,
+        src: usize,
+    ) -> (Self, BackingStore) {
         Self::build(g, params, src, true, "SP")
     }
 
     fn build(
-        g: Graph,
+        g: impl Into<Arc<Graph>>,
         params: &WorkloadParams,
         src: usize,
         weighted: bool,
         name: &'static str,
     ) -> (Self, BackingStore) {
+        let g = g.into();
         let mut store = BackingStore::with_base(params.heap_base);
         let layout = GraphLayout::alloc(&mut store, &g, 1);
         let n = g.n;
@@ -538,7 +554,7 @@ impl PhasedTrace for FrontierMin {
 /// directed CSR; the reference implementation matches exactly.
 #[derive(Debug)]
 pub struct Wcc {
-    g: Graph,
+    g: Arc<Graph>,
     layout: GraphLayout,
     label: Vec<u64>,
     shadow: Vec<u64>,
@@ -556,7 +572,8 @@ impl Wcc {
     pub const FIELD_LABEL: usize = 0;
 
     /// Builds the workload.
-    pub fn new(g: Graph, params: &WorkloadParams) -> (Self, BackingStore) {
+    pub fn new(g: impl Into<Arc<Graph>>, params: &WorkloadParams) -> (Self, BackingStore) {
+        let g = g.into();
         let mut store = BackingStore::with_base(params.heap_base);
         let layout = GraphLayout::alloc(&mut store, &g, 1);
         let n = g.n;

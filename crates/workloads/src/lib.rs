@@ -32,8 +32,13 @@
 //! assert_eq!(trace.threads(), 2);
 //! # let _ = store;
 //! ```
+//!
+//! This crate's place in the workspace is mapped in DESIGN.md §5.
+
+#![warn(missing_docs)]
 
 pub mod analytics;
+pub mod cache;
 pub mod graph;
 pub mod graph_kernels;
 pub mod ml;

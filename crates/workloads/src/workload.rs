@@ -8,6 +8,7 @@ use crate::ml::{StreamCluster, SvmRfe};
 use crate::params::{InputSize, WorkloadParams};
 use pei_cpu::trace::PhasedTrace;
 use pei_mem::BackingStore;
+use std::sync::Arc;
 
 /// The ten workloads of §5, in the paper's order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -111,16 +112,20 @@ impl Workload {
     }
 
     /// Builds a graph workload on an explicit graph (the Fig. 2 / Fig. 8
-    /// nine-graph sweeps construct their own graph series).
+    /// nine-graph sweeps construct their own graph series). Accepts a
+    /// plain [`Graph`] or a shared [`Arc<Graph>`] from
+    /// [`crate::cache`]; kernels only read the graph, so an `Arc` clone
+    /// is enough.
     ///
     /// # Panics
     ///
     /// Panics if `self` is not a graph workload.
     pub fn build_on_graph(
         self,
-        g: Graph,
+        g: impl Into<Arc<Graph>>,
         params: &WorkloadParams,
     ) -> (BackingStore, Box<dyn PhasedTrace>) {
+        let g = g.into();
         match self {
             Workload::Atf => {
                 let (w, s) = Atf::new(g, params);
@@ -154,10 +159,13 @@ impl std::fmt::Display for Workload {
 }
 
 /// Builds a power-law graph whose PEI-visible footprint (~48 B per vertex
-/// across fields + CSR) lands near `footprint` bytes.
-pub fn graph_for(footprint: usize, seed: u64) -> Graph {
+/// across fields + CSR) lands near `footprint` bytes. The graph comes
+/// from the process-wide [`crate::cache`], so repeated builds of the
+/// same `(footprint, seed)` — e.g. the four machine configurations of
+/// one figure cell — share a single allocation.
+pub fn graph_for(footprint: usize, seed: u64) -> Arc<Graph> {
     let n = (footprint / 48).max(64);
-    Graph::power_law(n, 10, seed)
+    crate::cache::shared_power_law(n, 10, seed)
 }
 
 #[cfg(test)]

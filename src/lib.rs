@@ -43,6 +43,8 @@
 //! let result = sys.run(u64::MAX);
 //! println!("IPC = {:.2}, PIM% = {:.0}%", result.ipc(), 100.0 * result.pim_fraction);
 //! ```
+//!
+//! This crate's place in the workspace is mapped in DESIGN.md §5.
 
 pub use pei_core as core;
 pub use pei_cpu as cpu;
