@@ -48,11 +48,14 @@ fn bench_pim_directory(c: &mut Criterion) {
     c.bench_function("core/pim_directory_acquire_release_1k", |b| {
         b.iter(|| {
             let mut dir = PimDirectory::new(2048, false);
+            let mut granted = Vec::new();
             for i in 0..1000u64 {
                 dir.acquire(ReqId(i), BlockAddr(i % 512), i % 3 == 0);
             }
             for i in 0..1000u64 {
-                black_box(dir.release(ReqId(i)));
+                dir.release(ReqId(i), &mut granted);
+                black_box(granted.len());
+                granted.clear();
             }
         })
     });

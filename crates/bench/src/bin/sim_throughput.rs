@@ -1,0 +1,223 @@
+//! Simulator-throughput benchmark: host events/sec and sim-cycles/sec
+//! over a fixed workload mix, recorded to `BENCH_sim_throughput.json`.
+//!
+//! Unlike the figure binaries this measures the *simulator*, not the
+//! simulated machine: the same mix run on the same hardware gives a
+//! perf trajectory for the event kernel across PRs (see EXPERIMENTS.md
+//! §"Simulator throughput" for the methodology and JSON schema).
+//!
+//! ```text
+//! cargo run -p pei-bench --release --bin sim_throughput -- \
+//!     [--scale quick|full] [--seed <n>] [--repeat <n>] [--label <s>] [--out <path>] [--append]
+//! ```
+//!
+//! Runs are strictly serial (`jobs` is fixed at 1) so wall-clock time
+//! divides cleanly into per-run throughput. With `--append`, the new
+//! record is spliced into the existing JSON array at `--out` instead of
+//! replacing it, so the checked-in file accumulates a history.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use pei_bench::{run_one, ExpOptions, Scale};
+use pei_core::DispatchPolicy;
+use pei_workloads::{InputSize, Workload};
+
+/// The fixed mix: one graph, one analytics, and one ML workload, each
+/// under the host-only and locality-aware policies at medium size —
+/// exercising the core/cache path, the PMU/PCU path, and both.
+const MIX: [(Workload, DispatchPolicy); 6] = [
+    (Workload::Atf, DispatchPolicy::HostOnly),
+    (Workload::Atf, DispatchPolicy::LocalityAware),
+    (Workload::Hj, DispatchPolicy::HostOnly),
+    (Workload::Hj, DispatchPolicy::LocalityAware),
+    (Workload::Sc, DispatchPolicy::HostOnly),
+    (Workload::Sc, DispatchPolicy::LocalityAware),
+];
+
+fn policy_name(p: DispatchPolicy) -> &'static str {
+    match p {
+        DispatchPolicy::HostOnly => "host-only",
+        DispatchPolicy::PimOnly => "pim-only",
+        DispatchPolicy::LocalityAware => "locality-aware",
+        DispatchPolicy::LocalityAwareBalanced => "locality-aware-balanced",
+    }
+}
+
+struct Args {
+    opts: ExpOptions,
+    repeat: usize,
+    label: String,
+    out: String,
+    append: bool,
+}
+
+fn parse_args() -> Args {
+    let mut opts = ExpOptions {
+        jobs: 1,
+        ..ExpOptions::default()
+    };
+    let mut repeat = 3;
+    let mut label = String::from("dev");
+    let mut out = String::from("BENCH_sim_throughput.json");
+    let mut append = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().expect("--scale needs quick|full");
+                opts.scale = match v.as_str() {
+                    "quick" => Scale::Quick,
+                    "full" => Scale::Full,
+                    other => panic!("unknown scale `{other}` (quick|full)"),
+                };
+            }
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .expect("--seed needs a number")
+                    .parse()
+                    .expect("seed must be an integer");
+            }
+            "--repeat" => {
+                repeat = args
+                    .next()
+                    .expect("--repeat needs a number")
+                    .parse()
+                    .expect("repeat must be an integer");
+                assert!(repeat >= 1, "--repeat must be at least 1");
+            }
+            "--label" => label = args.next().expect("--label needs a string"),
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--append" => append = true,
+            other => panic!(
+                "unknown argument `{other}` (--scale, --seed, --repeat, --label, --out, --append)"
+            ),
+        }
+    }
+    Args {
+        opts,
+        repeat,
+        label,
+        out,
+        append,
+    }
+}
+
+struct Measured {
+    workload: &'static str,
+    policy: &'static str,
+    events: u64,
+    sim_cycles: u64,
+    wall_s: f64,
+}
+
+fn record_json(args: &Args, runs: &[Measured]) -> String {
+    let scale = match args.opts.scale {
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    };
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "  {{\n    \"label\": \"{}\",\n    \"scale\": \"{scale}\",\n    \"seed\": {},\n    \"runs\": [",
+        args.label, args.opts.seed
+    );
+    let (mut ev_tot, mut cy_tot, mut wall_tot) = (0u64, 0u64, 0f64);
+    for (i, r) in runs.iter().enumerate() {
+        ev_tot += r.events;
+        cy_tot += r.sim_cycles;
+        wall_tot += r.wall_s;
+        let _ = write!(
+            s,
+            "{}\n      {{\"workload\": \"{}\", \"policy\": \"{}\", \"events\": {}, \"sim_cycles\": {}, \"wall_s\": {:.3}, \"events_per_s\": {:.0}, \"sim_cycles_per_s\": {:.0}}}",
+            if i == 0 { "" } else { "," },
+            r.workload,
+            r.policy,
+            r.events,
+            r.sim_cycles,
+            r.wall_s,
+            r.events as f64 / r.wall_s,
+            r.sim_cycles as f64 / r.wall_s,
+        );
+    }
+    let _ = write!(
+        s,
+        "\n    ],\n    \"total\": {{\"events\": {ev_tot}, \"sim_cycles\": {cy_tot}, \"wall_s\": {wall_tot:.3}, \"events_per_s\": {:.0}, \"sim_cycles_per_s\": {:.0}}}\n  }}",
+        ev_tot as f64 / wall_tot,
+        cy_tot as f64 / wall_tot,
+    );
+    s
+}
+
+fn main() {
+    let args = parse_args();
+    let mut runs = Vec::new();
+    println!(
+        "{:<10} {:>15} {:>12} {:>12} {:>9} {:>12} {:>14}",
+        "workload", "policy", "events", "sim_cycles", "wall_s", "events/s", "sim_cycles/s"
+    );
+    for (w, policy) in MIX {
+        // Best-of-N wall time: simulated results are identical across
+        // repeats (determinism contract), so the minimum isolates the
+        // simulator's speed from scheduler noise on a shared host.
+        let mut wall_s = f64::INFINITY;
+        let mut res = None;
+        for _ in 0..args.repeat {
+            let t0 = Instant::now();
+            let r = run_one(&args.opts, w, InputSize::Medium, policy);
+            wall_s = wall_s.min(t0.elapsed().as_secs_f64().max(1e-9));
+            res = Some(r);
+        }
+        let res = res.expect("repeat >= 1");
+        let events = res.stats.expect("sim.events") as u64;
+        let m = Measured {
+            workload: w.label(),
+            policy: policy_name(policy),
+            events,
+            sim_cycles: res.cycles,
+            wall_s,
+        };
+        println!(
+            "{:<10} {:>15} {:>12} {:>12} {:>9.3} {:>12.0} {:>14.0}",
+            m.workload,
+            m.policy,
+            m.events,
+            m.sim_cycles,
+            m.wall_s,
+            m.events as f64 / m.wall_s,
+            m.sim_cycles as f64 / m.wall_s,
+        );
+        runs.push(m);
+    }
+    let (ev, cy, wall) = runs.iter().fold((0u64, 0u64, 0f64), |(e, c, w), r| {
+        (e + r.events, c + r.sim_cycles, w + r.wall_s)
+    });
+    println!(
+        "{:<10} {:>15} {:>12} {:>12} {:>9.3} {:>12.0} {:>14.0}",
+        "TOTAL",
+        "",
+        ev,
+        cy,
+        wall,
+        ev as f64 / wall,
+        cy as f64 / wall,
+    );
+
+    let record = record_json(&args, &runs);
+    let body = match std::fs::read_to_string(&args.out) {
+        Ok(existing) if args.append => {
+            // The file is a JSON array of records; splice before the
+            // closing bracket. Fall back to replacing on any mismatch.
+            match existing.trim_end().strip_suffix(']') {
+                Some(head) if head.trim_start().starts_with('[') => {
+                    format!("{},\n{record}\n]\n", head.trim_end())
+                }
+                _ => format!("[\n{record}\n]\n"),
+            }
+        }
+        _ => format!("[\n{record}\n]\n"),
+    };
+    std::fs::write(&args.out, body).expect("write BENCH_sim_throughput.json");
+    println!("wrote {}", args.out);
+}

@@ -43,9 +43,10 @@ impl Entry {
         }
     }
 
-    /// Pops newly grantable waiters after a release.
-    fn drain_grants(&mut self) -> Vec<(ReqId, bool)> {
-        let mut granted = Vec::new();
+    /// Pops newly grantable waiters after a release into `granted`,
+    /// returning how many were appended.
+    fn drain_grants_into(&mut self, granted: &mut Vec<(ReqId, bool)>) -> u64 {
+        let mut n = 0;
         while let Some(&(id, writer)) = self.queue.front() {
             let ok = if writer {
                 self.readers == 0 && !self.writer
@@ -56,6 +57,7 @@ impl Entry {
                 break;
             }
             self.queue.pop_front();
+            n += 1;
             if writer {
                 self.writer = true;
                 granted.push((id, true));
@@ -64,7 +66,7 @@ impl Entry {
             self.readers += 1;
             granted.push((id, false));
         }
-        granted
+        n
     }
 }
 
@@ -80,7 +82,8 @@ impl Entry {
 /// assert_eq!(dir.acquire(ReqId(1), BlockAddr(5), true), AcquireResult::Granted);
 /// // A second writer to the same block queues.
 /// assert_eq!(dir.acquire(ReqId(2), BlockAddr(5), true), AcquireResult::Queued);
-/// let granted = dir.release(ReqId(1));
+/// let mut granted = Vec::new();
+/// dir.release(ReqId(1), &mut granted);
 /// assert_eq!(granted, vec![(ReqId(2), true)]);
 /// ```
 #[derive(Debug)]
@@ -159,13 +162,14 @@ impl PimDirectory {
         }
     }
 
-    /// Releases the lock held by `id`, returning the newly granted waiters
-    /// in FIFO order.
+    /// Releases the lock held by `id`, appending the newly granted waiters
+    /// to `granted` in FIFO order. The caller owns (and typically reuses)
+    /// the buffer; it is not cleared here.
     ///
     /// # Panics
     ///
     /// Panics if `id` holds no lock.
-    pub fn release(&mut self, id: ReqId) -> Vec<(ReqId, bool)> {
+    pub fn release(&mut self, id: ReqId, granted: &mut Vec<(ReqId, bool)>) {
         let (block, writer) = self.held.remove(&id).expect("release of unknown PEI id");
         let entry = self.entry_mut(block);
         if writer {
@@ -175,8 +179,7 @@ impl PimDirectory {
             debug_assert!(entry.readers > 0);
             entry.readers -= 1;
         }
-        let granted = entry.drain_grants();
-        self.grants += granted.len() as u64;
+        self.grants += entry.drain_grants_into(granted);
         if self.ideal {
             // Garbage-collect idle ideal entries.
             let e = self.ideal_entries.get(&block).expect("present");
@@ -184,7 +187,6 @@ impl PimDirectory {
                 self.ideal_entries.remove(&block);
             }
         }
-        granted
     }
 
     /// Number of PEIs currently holding or awaiting locks.
@@ -230,6 +232,13 @@ mod tests {
         PimDirectory::new(2048, false)
     }
 
+    /// Test shorthand: release and collect the grants.
+    fn rel(d: &mut PimDirectory, id: ReqId) -> Vec<(ReqId, bool)> {
+        let mut granted = Vec::new();
+        d.release(id, &mut granted);
+        granted
+    }
+
     #[test]
     fn readers_share() {
         let mut d = dir();
@@ -241,8 +250,8 @@ mod tests {
             d.acquire(ReqId(2), BlockAddr(5), false),
             AcquireResult::Granted
         );
-        assert!(d.release(ReqId(1)).is_empty());
-        assert!(d.release(ReqId(2)).is_empty());
+        assert!(rel(&mut d, ReqId(1)).is_empty());
+        assert!(rel(&mut d, ReqId(2)).is_empty());
     }
 
     #[test]
@@ -257,10 +266,10 @@ mod tests {
             d.acquire(ReqId(3), BlockAddr(5), true),
             AcquireResult::Queued
         );
-        let granted = d.release(ReqId(1));
+        let granted = rel(&mut d, ReqId(1));
         // FIFO: the reader queued first goes first, alone (writer behind).
         assert_eq!(granted, vec![(ReqId(2), false)]);
-        let granted = d.release(ReqId(2));
+        let granted = rel(&mut d, ReqId(2));
         assert_eq!(granted, vec![(ReqId(3), true)]);
     }
 
@@ -275,9 +284,9 @@ mod tests {
             AcquireResult::Queued,
             "reader behind waiting writer must queue"
         );
-        let granted = d.release(ReqId(1));
+        let granted = rel(&mut d, ReqId(1));
         assert_eq!(granted, vec![(ReqId(2), true)]);
-        let granted = d.release(ReqId(2));
+        let granted = rel(&mut d, ReqId(2));
         assert_eq!(granted, vec![(ReqId(3), false)]);
     }
 
@@ -287,7 +296,7 @@ mod tests {
         d.acquire(ReqId(1), BlockAddr(5), true);
         d.acquire(ReqId(2), BlockAddr(5), false);
         d.acquire(ReqId(3), BlockAddr(5), false);
-        let granted = d.release(ReqId(1));
+        let granted = rel(&mut d, ReqId(1));
         assert_eq!(granted, vec![(ReqId(2), false), (ReqId(3), false)]);
     }
 
@@ -316,8 +325,8 @@ mod tests {
             AcquireResult::Granted,
             "ideal directory must not alias"
         );
-        d.release(ReqId(1));
-        d.release(ReqId(2));
+        rel(&mut d, ReqId(1));
+        rel(&mut d, ReqId(2));
         assert_eq!(d.in_flight(), 0);
     }
 
@@ -344,7 +353,7 @@ mod tests {
                     let done: Vec<ReqId> = d.held_ids_for_test(w).into_iter().take(1).collect();
                     for id in done {
                         active_writers.remove(&w);
-                        for (gid, _) in d.release(id) {
+                        for (gid, _) in rel(&mut d, id) {
                             let blk = gid.0 % 4;
                             assert!(active_writers.insert(blk), "double grant on {blk}");
                         }
@@ -365,6 +374,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown PEI id")]
     fn release_unknown_rejected() {
-        dir().release(ReqId(42));
+        dir().release(ReqId(42), &mut Vec::new());
     }
 }

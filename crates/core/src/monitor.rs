@@ -9,7 +9,7 @@
 //! the first hit to such an entry is ignored (going to memory once more)
 //! before the block is considered cache-worthy.
 
-use pei_engine::StatsReport;
+use pei_engine::{CounterId, Counters, StatsReport};
 use pei_types::BlockAddr;
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -46,11 +46,28 @@ pub struct LocalityMonitor {
     /// count as high locality).
     ignore_enabled: bool,
     entries: Vec<MonEntry>,
-    // statistics
-    queries: u64,
-    hits: u64,
-    ignored_hits: u64,
-    false_hit_candidates: u64,
+    counters: Counters,
+    c: MonCounters,
+}
+
+/// The monitor's counter bank.
+#[derive(Debug)]
+struct MonCounters {
+    queries: CounterId,
+    hits: CounterId,
+    ignored_first_hits: CounterId,
+    partial_tag_aliases: CounterId,
+}
+
+impl MonCounters {
+    fn register(c: &mut Counters) -> Self {
+        MonCounters {
+            queries: c.register("queries"),
+            hits: c.register("hits"),
+            ignored_first_hits: c.register("ignored_first_hits"),
+            partial_tag_aliases: c.register("partial_tag_aliases"),
+        }
+    }
 }
 
 impl LocalityMonitor {
@@ -65,6 +82,8 @@ impl LocalityMonitor {
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         assert!(ways > 0, "way count must be nonzero");
         assert!((1..=16).contains(&tag_bits), "partial tags are 1..=16 bits");
+        let mut counters = Counters::new();
+        let c = MonCounters::register(&mut counters);
         LocalityMonitor {
             sets,
             ways,
@@ -72,10 +91,8 @@ impl LocalityMonitor {
             ideal,
             ignore_enabled: true,
             entries: vec![MonEntry::default(); sets * ways],
-            queries: 0,
-            hits: 0,
-            ignored_hits: 0,
-            false_hit_candidates: 0,
+            counters,
+            c,
         }
     }
 
@@ -170,7 +187,7 @@ impl LocalityMonitor {
     /// whose ignore flag is set clears the flag and reports low locality
     /// (the first-hit filter for PIM-allocated entries).
     pub fn query(&mut self, block: BlockAddr) -> bool {
-        self.queries += 1;
+        self.counters.inc(self.c.queries);
         let set = self.set_of(block);
         let (_, full) = self.tags_of(block);
         match self.find(block) {
@@ -178,15 +195,15 @@ impl LocalityMonitor {
                 let e = &mut self.entries[set * self.ways + way];
                 if e.ignore && self.ignore_enabled {
                     e.ignore = false;
-                    self.ignored_hits += 1;
+                    self.counters.inc(self.c.ignored_first_hits);
                     false
                 } else {
                     if e.full_tag != full {
                         // Partial-tag alias: counted for §7.6 analysis
                         // (still reported as a hit, as real hardware would).
-                        self.false_hit_candidates += 1;
+                        self.counters.inc(self.c.partial_tag_aliases);
                     }
-                    self.hits += 1;
+                    self.counters.inc(self.c.hits);
                     self.promote(set, way);
                     true
                 }
@@ -203,16 +220,7 @@ impl LocalityMonitor {
 
     /// Dumps statistics under `prefix`.
     pub fn report(&self, prefix: &str, stats: &mut StatsReport) {
-        stats.add(format!("{prefix}queries"), self.queries as f64);
-        stats.add(format!("{prefix}hits"), self.hits as f64);
-        stats.add(
-            format!("{prefix}ignored_first_hits"),
-            self.ignored_hits as f64,
-        );
-        stats.add(
-            format!("{prefix}partial_tag_aliases"),
-            self.false_hit_candidates as f64,
-        );
+        self.counters.flush(prefix, stats);
     }
 }
 

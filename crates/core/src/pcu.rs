@@ -12,7 +12,7 @@
 //!   executes offloaded PEIs.
 
 use crate::ops;
-use pei_engine::{ClockDomain, OccupancyPool, StatsReport};
+use pei_engine::{ClockDomain, CounterId, Counters, OccupancyPool, Outbox, StatsReport};
 use pei_mem::msg::CoreReq;
 use pei_mem::BackingStore;
 use pei_types::mem::ns;
@@ -112,21 +112,39 @@ pub struct HostPcu {
     compute: OccupancyPool,
     tasks: HashMap<ReqId, HostTask>,
     next_local: u64,
-    host_execs: u64,
-    mem_execs: u64,
+    counters: Counters,
+    c: HostPcuCounters,
+}
+
+/// The host-side PCU's counter bank.
+#[derive(Debug)]
+struct HostPcuCounters {
+    host_execs: CounterId,
+    mem_execs: CounterId,
+}
+
+impl HostPcuCounters {
+    fn register(c: &mut Counters) -> Self {
+        HostPcuCounters {
+            host_execs: c.register("host_execs"),
+            mem_execs: c.register("mem_execs"),
+        }
+    }
 }
 
 impl HostPcu {
     /// Creates the PCU for `core`.
     pub fn new(core: CoreId, cfg: PcuConfig) -> Self {
+        let mut counters = Counters::new();
+        let c = HostPcuCounters::register(&mut counters);
         HostPcu {
             core,
             cfg,
             compute: OccupancyPool::new(cfg.exec_width),
             tasks: HashMap::new(),
             next_local: 0,
-            host_execs: 0,
-            mem_execs: 0,
+            counters,
+            c,
         }
     }
 
@@ -139,7 +157,7 @@ impl HostPcu {
         op: PimOpKind,
         target: Addr,
         input: OperandValue,
-        out: &mut Vec<HostPcuOut>,
+        out: &mut Outbox<HostPcuOut>,
     ) -> ReqId {
         self.next_local += 1;
         let id = ReqId::tagged(ns::HOST_PCU, self.core.0, self.next_local);
@@ -164,7 +182,7 @@ impl HostPcu {
 
     /// The PMU decided host-side execution: load the target block through
     /// the L1 (§4.5 step 3).
-    pub fn on_decision_host(&mut self, now: Cycle, id: ReqId, out: &mut Vec<HostPcuOut>) {
+    pub fn on_decision_host(&mut self, now: Cycle, id: ReqId, out: &mut Outbox<HostPcuOut>) {
         let task = self.tasks.get(&id).expect("unknown host PEI");
         out.push(HostPcuOut::L1Access {
             req: CoreReq {
@@ -182,10 +200,10 @@ impl HostPcu {
         now: Cycle,
         id: ReqId,
         mem: &mut BackingStore,
-        out: &mut Vec<HostPcuOut>,
+        out: &mut Outbox<HostPcuOut>,
     ) {
         let task = self.tasks.remove(&id).expect("unknown host PEI");
-        self.host_execs += 1;
+        self.counters.inc(self.c.host_execs);
         let start = self.compute.reserve(now, ops::host_latency(task.op));
         let mut done = start + ops::host_latency(task.op);
         if task.op.is_writer() {
@@ -206,7 +224,7 @@ impl HostPcu {
 
     /// The PMU dispatched this PEI to memory: the operand-buffer entry is
     /// handed to the PMU/memory side, freeing the core's credit now.
-    pub fn on_dispatched_mem(&mut self, now: Cycle, id: ReqId, out: &mut Vec<HostPcuOut>) {
+    pub fn on_dispatched_mem(&mut self, now: Cycle, id: ReqId, out: &mut Outbox<HostPcuOut>) {
         let task = self.tasks.get(&id).expect("unknown host PEI");
         out.push(HostPcuOut::CreditToCore {
             seq: task.seq,
@@ -221,10 +239,10 @@ impl HostPcu {
         now: Cycle,
         id: ReqId,
         output: OperandValue,
-        out: &mut Vec<HostPcuOut>,
+        out: &mut Outbox<HostPcuOut>,
     ) {
         let task = self.tasks.remove(&id).expect("unknown host PEI");
-        self.mem_execs += 1;
+        self.counters.inc(self.c.mem_execs);
         out.push(HostPcuOut::DoneToCore {
             seq: task.seq,
             output,
@@ -239,13 +257,15 @@ impl HostPcu {
 
     /// `(host-executed, memory-executed)` PEI counts.
     pub fn exec_counts(&self) -> (u64, u64) {
-        (self.host_execs, self.mem_execs)
+        (
+            self.counters.get(self.c.host_execs),
+            self.counters.get(self.c.mem_execs),
+        )
     }
 
     /// Dumps statistics under `prefix`.
     pub fn report(&self, prefix: &str, stats: &mut StatsReport) {
-        stats.bump(format!("{prefix}host_execs"), self.host_execs as f64);
-        stats.bump(format!("{prefix}mem_execs"), self.mem_execs as f64);
+        self.counters.flush(prefix, stats);
     }
 }
 
@@ -291,13 +311,32 @@ pub struct MemPcu {
     tasks: HashMap<ReqId, MemTask>,
     waiting: VecDeque<PimCmd>,
     next_local: u64,
-    executed: u64,
+    /// High-water mark of occupied operand-buffer entries (a max, so it
+    /// lives outside the additive counter bank).
     peak_buffer: usize,
+    counters: Counters,
+    c: MemPcuCounters,
+}
+
+/// The memory-side PCU's counter bank.
+#[derive(Debug)]
+struct MemPcuCounters {
+    executed: CounterId,
+}
+
+impl MemPcuCounters {
+    fn register(c: &mut Counters) -> Self {
+        MemPcuCounters {
+            executed: c.register("executed"),
+        }
+    }
 }
 
 impl MemPcu {
     /// Creates the PCU for the vault with flat index `vault_flat`.
     pub fn new(vault_flat: u16, cfg: PcuConfig, mem_clk: ClockDomain) -> Self {
+        let mut counters = Counters::new();
+        let c = MemPcuCounters::register(&mut counters);
         MemPcu {
             vault_flat,
             cfg,
@@ -306,8 +345,9 @@ impl MemPcu {
             tasks: HashMap::new(),
             waiting: VecDeque::new(),
             next_local: 0,
-            executed: 0,
             peak_buffer: 0,
+            counters,
+            c,
         }
     }
 
@@ -318,7 +358,7 @@ impl MemPcu {
 
     /// Accepts a PIM command from the off-chip link. If the operand buffer
     /// is full the command waits in the vault's input queue.
-    pub fn on_cmd(&mut self, now: Cycle, cmd: PimCmd, out: &mut Vec<MemPcuOut>) {
+    pub fn on_cmd(&mut self, now: Cycle, cmd: PimCmd, out: &mut Outbox<MemPcuOut>) {
         if self.tasks.len() >= self.cfg.operand_entries {
             self.waiting.push_back(cmd);
             return;
@@ -326,7 +366,7 @@ impl MemPcu {
         self.start(now, cmd, out);
     }
 
-    fn start(&mut self, now: Cycle, cmd: PimCmd, out: &mut Vec<MemPcuOut>) {
+    fn start(&mut self, now: Cycle, cmd: PimCmd, out: &mut Outbox<MemPcuOut>) {
         let id = self.fresh_id();
         let block = cmd.block();
         self.tasks.insert(id, MemTask { cmd, wrote: false });
@@ -346,7 +386,7 @@ impl MemPcu {
         id: ReqId,
         write: bool,
         mem: &mut BackingStore,
-        out: &mut Vec<MemPcuOut>,
+        out: &mut Outbox<MemPcuOut>,
     ) {
         if write {
             // Write-back half finished: the PEI is complete.
@@ -394,9 +434,9 @@ impl MemPcu {
         task: MemTask,
         mem: &mut BackingStore,
         _was_write: bool,
-        out: &mut Vec<MemPcuOut>,
+        out: &mut Outbox<MemPcuOut>,
     ) {
-        self.executed += 1;
+        self.counters.inc(self.c.executed);
         let output = ops::apply(task.cmd.op, task.cmd.target, &task.cmd.input, mem);
         out.push(MemPcuOut::Complete {
             resp: PimOut {
@@ -410,7 +450,7 @@ impl MemPcu {
 
     /// PEIs executed by this PCU.
     pub fn executed(&self) -> u64 {
-        self.executed
+        self.counters.get(self.c.executed)
     }
 
     /// In-service + queued commands (test helper).
@@ -420,7 +460,7 @@ impl MemPcu {
 
     /// Dumps statistics under `prefix`.
     pub fn report(&self, prefix: &str, stats: &mut StatsReport) {
-        stats.bump(format!("{prefix}executed"), self.executed as f64);
+        self.counters.flush(prefix, stats);
     }
 }
 
@@ -434,7 +474,7 @@ mod tests {
         let target = mem.alloc_block();
         mem.write_u64(target, 5);
         let mut pcu = HostPcu::new(CoreId(0), PcuConfig::paper());
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         let id = pcu.begin(
             0,
             0,
@@ -471,7 +511,7 @@ mod tests {
         let mut mem = BackingStore::new();
         let target = mem.alloc_block();
         let mut pcu = HostPcu::new(CoreId(0), PcuConfig::paper());
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         let id = pcu.begin(
             0,
             0,
@@ -491,7 +531,7 @@ mod tests {
     #[test]
     fn host_pcu_mem_result_completes_without_l1() {
         let mut pcu = HostPcu::new(CoreId(0), PcuConfig::paper());
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         let id = pcu.begin(
             0,
             7,
@@ -515,7 +555,7 @@ mod tests {
         let t1 = mem.alloc_block();
         let t2 = mem.alloc_block();
         let mut pcu = HostPcu::new(CoreId(0), PcuConfig::paper());
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         let a = pcu.begin(
             0,
             0,
@@ -553,7 +593,7 @@ mod tests {
         mem.write_u64(target, 33);
         let clk = ClockDomain::new(2, 4.0);
         let mut pcu = MemPcu::new(0, PcuConfig::paper(), clk);
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         pcu.on_cmd(
             1,
             PimCmd {
@@ -592,7 +632,7 @@ mod tests {
         let target = mem.alloc_block();
         let clk = ClockDomain::new(2, 4.0);
         let mut pcu = MemPcu::new(0, PcuConfig::paper(), clk);
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         pcu.on_cmd(
             0,
             PimCmd {
@@ -628,7 +668,7 @@ mod tests {
         let mut mem = BackingStore::new();
         let clk = ClockDomain::new(2, 4.0);
         let mut pcu = MemPcu::new(0, PcuConfig::paper(), clk);
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         let mut blocks = Vec::new();
         for _ in 0..6 {
             blocks.push(mem.alloc_block().block());

@@ -10,7 +10,7 @@
 use crate::directory::{AcquireResult, PimDirectory};
 use crate::dispatch::{balanced_choice, DispatchPolicy};
 use crate::monitor::LocalityMonitor;
-use pei_engine::StatsReport;
+use pei_engine::{CounterId, Counters, Outbox, StatsReport};
 use pei_mem::msg::PimFlush;
 use pei_types::{Addr, BlockAddr, CoreId, Cycle, OperandValue, PimCmd, PimOpKind, PimOut, ReqId};
 use std::collections::HashMap;
@@ -185,6 +185,28 @@ struct PeiTxn {
     state: TxnState,
 }
 
+/// The PMU's counter bank (registered once at construction).
+#[derive(Debug)]
+struct PmuCounters {
+    host_dispatched: CounterId,
+    mem_dispatched: CounterId,
+    balanced_overrides: CounterId,
+    bd_dither: CounterId,
+    pfences: CounterId,
+}
+
+impl PmuCounters {
+    fn register(c: &mut Counters) -> Self {
+        PmuCounters {
+            host_dispatched: c.register("host_dispatched"),
+            mem_dispatched: c.register("mem_dispatched"),
+            balanced_overrides: c.register("balanced_overrides"),
+            bd_dither: c.register("bd_dither"),
+            pfences: c.register("pfences"),
+        }
+    }
+}
+
 /// The PEI management unit.
 #[derive(Debug)]
 pub struct Pmu {
@@ -194,12 +216,10 @@ pub struct Pmu {
     txns: HashMap<ReqId, PeiTxn>,
     outstanding_writers: u64,
     fence_waiters: Vec<CoreId>,
-    // statistics
-    host_dispatched: u64,
-    mem_dispatched: u64,
-    balanced_overrides: u64,
-    bd_dither: u64,
-    pfences: u64,
+    /// Reusable buffer for directory grants (cleared after each release).
+    grant_scratch: Vec<(ReqId, bool)>,
+    counters: Counters,
+    c: PmuCounters,
 }
 
 impl Pmu {
@@ -208,17 +228,17 @@ impl Pmu {
         let mut mon =
             LocalityMonitor::new(cfg.mon_sets, cfg.mon_ways, cfg.mon_tag_bits, cfg.ideal_mon);
         mon.set_ignore_enabled(cfg.mon_ignore_bit);
+        let mut counters = Counters::new();
+        let c = PmuCounters::register(&mut counters);
         Pmu {
             dir: PimDirectory::new(cfg.dir_entries, cfg.ideal_dir),
             mon,
             txns: HashMap::new(),
             outstanding_writers: 0,
             fence_waiters: Vec::new(),
-            host_dispatched: 0,
-            mem_dispatched: 0,
-            balanced_overrides: 0,
-            bd_dither: 0,
-            pfences: 0,
+            grant_scratch: Vec::new(),
+            counters,
+            c,
             cfg,
         }
     }
@@ -238,7 +258,13 @@ impl Pmu {
 
     /// Processes one PMU input. `balance` is the HMC controller's current
     /// `(C_req, C_res)` sample, used by balanced dispatch.
-    pub fn handle(&mut self, now: Cycle, input: PmuIn, balance: (u64, u64), out: &mut Vec<PmuOut>) {
+    pub fn handle(
+        &mut self,
+        now: Cycle,
+        input: PmuIn,
+        balance: (u64, u64),
+        out: &mut Outbox<PmuOut>,
+    ) {
         match input {
             PmuIn::Request {
                 id,
@@ -292,7 +318,7 @@ impl Pmu {
                 self.release(now, result.id, balance, out);
             }
             PmuIn::Pfence { core } => {
-                self.pfences += 1;
+                self.counters.inc(self.c.pfences);
                 if self.outstanding_writers == 0 {
                     out.push(PmuOut::PfenceDone {
                         core,
@@ -305,7 +331,7 @@ impl Pmu {
         }
     }
 
-    fn decide(&mut self, now: Cycle, id: ReqId, balance: (u64, u64), out: &mut Vec<PmuOut>) {
+    fn decide(&mut self, now: Cycle, id: ReqId, balance: (u64, u64), out: &mut Outbox<PmuOut>) {
         let (op, target, core) = {
             let txn = self.txns.get(&id).expect("deciding unknown PEI");
             (txn.op, txn.target, txn.core)
@@ -339,10 +365,10 @@ impl Pmu {
                         // undithered overrides come in long runs that fill
                         // the operand buffers with slow host executions;
                         // interleaving keeps the mix fine-grained.
-                        self.bd_dither += 1;
-                        mem = !self.bd_dither.is_multiple_of(2);
+                        self.counters.inc(self.c.bd_dither);
+                        mem = !self.counters.get(self.c.bd_dither).is_multiple_of(2);
                         if !mem {
-                            self.balanced_overrides += 1;
+                            self.counters.inc(self.c.balanced_overrides);
                         }
                     }
                     (mem, self.cfg.dir_latency + mon_lat)
@@ -352,7 +378,7 @@ impl Pmu {
         let at = now + lat;
         let txn = self.txns.get_mut(&id).expect("deciding unknown PEI");
         if to_memory {
-            self.mem_dispatched += 1;
+            self.counters.inc(self.c.mem_dispatched);
             txn.state = TxnState::WaitFlush;
             let writer = txn.writer;
             let core = txn.core;
@@ -369,34 +395,48 @@ impl Pmu {
                 at,
             });
         } else {
-            self.host_dispatched += 1;
+            self.counters.inc(self.c.host_dispatched);
             txn.state = TxnState::HostRunning;
             out.push(PmuOut::DecideHost { id, core, at });
         }
     }
 
-    fn release(&mut self, now: Cycle, id: ReqId, balance: (u64, u64), out: &mut Vec<PmuOut>) {
+    fn release(&mut self, now: Cycle, id: ReqId, balance: (u64, u64), out: &mut Outbox<PmuOut>) {
         let txn = self.txns.remove(&id).expect("release of unknown PEI");
         if txn.writer {
             self.outstanding_writers -= 1;
             if self.outstanding_writers == 0 {
-                for core in std::mem::take(&mut self.fence_waiters) {
+                // Drain waiters without dropping the Vec's capacity: swap it
+                // out, push, clear and swap it back.
+                let mut waiters = std::mem::take(&mut self.fence_waiters);
+                for &core in &waiters {
                     out.push(PmuOut::PfenceDone {
                         core,
                         at: now + self.cfg.dir_latency,
                     });
                 }
+                waiters.clear();
+                self.fence_waiters = waiters;
             }
         }
-        for (granted, _writer) in self.dir.release(id) {
-            self.decide(now + self.cfg.dir_latency, granted, balance, out);
+        // Reuse the grant scratch; `decide` never re-enters `release`, so
+        // taking the buffer for the loop is safe.
+        let mut granted = std::mem::take(&mut self.grant_scratch);
+        self.dir.release(id, &mut granted);
+        for &(gid, _writer) in &granted {
+            self.decide(now + self.cfg.dir_latency, gid, balance, out);
         }
+        granted.clear();
+        self.grant_scratch = granted;
     }
 
     /// `(host-dispatched, memory-dispatched)` PEI counts — the "PIM %"
     /// series of Fig. 8.
     pub fn dispatch_counts(&self) -> (u64, u64) {
-        (self.host_dispatched, self.mem_dispatched)
+        (
+            self.counters.get(self.c.host_dispatched),
+            self.counters.get(self.c.mem_dispatched),
+        )
     }
 
     /// PEIs currently registered (test helper).
@@ -406,19 +446,9 @@ impl Pmu {
 
     /// Dumps statistics under `prefix`.
     pub fn report(&self, prefix: &str, stats: &mut StatsReport) {
-        stats.add(
-            format!("{prefix}host_dispatched"),
-            self.host_dispatched as f64,
-        );
-        stats.add(
-            format!("{prefix}mem_dispatched"),
-            self.mem_dispatched as f64,
-        );
-        stats.add(
-            format!("{prefix}balanced_overrides"),
-            self.balanced_overrides as f64,
-        );
-        stats.add(format!("{prefix}pfences"), self.pfences as f64);
+        // `bd_dither` is an internal dithering phase, not a published stat.
+        self.counters
+            .flush_if(prefix, stats, |name| name != "bd_dither");
         let (grants, queued, peak) = self.dir.stats();
         stats.add(format!("{prefix}dir.grants"), grants as f64);
         stats.add(format!("{prefix}dir.queued"), queued as f64);
@@ -448,7 +478,7 @@ mod tests {
     #[test]
     fn host_only_always_decides_host() {
         let mut p = pmu(DispatchPolicy::HostOnly);
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         p.handle(0, request(1, PimOpKind::MinU64, 0x40), (0, 0), &mut out);
         assert!(matches!(out[0], PmuOut::DecideHost { .. }));
         assert_eq!(p.dispatch_counts(), (1, 0));
@@ -457,7 +487,7 @@ mod tests {
     #[test]
     fn pim_only_flushes_then_launches() {
         let mut p = pmu(DispatchPolicy::PimOnly);
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         p.handle(0, request(1, PimOpKind::MinU64, 0x40), (0, 0), &mut out);
         assert!(
             matches!(out[0], PmuOut::DispatchedMem { .. }),
@@ -494,7 +524,7 @@ mod tests {
     #[test]
     fn reader_pei_uses_back_writeback() {
         let mut p = pmu(DispatchPolicy::PimOnly);
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         p.handle(0, request(1, PimOpKind::HashProbe, 0x40), (0, 0), &mut out);
         match &out[1] {
             PmuOut::Flush { flush, .. } => assert!(!flush.invalidate),
@@ -505,7 +535,7 @@ mod tests {
     #[test]
     fn locality_aware_uses_monitor() {
         let mut p = pmu(DispatchPolicy::LocalityAware);
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         // Cold block: goes to memory.
         p.handle(0, request(1, PimOpKind::MinU64, 0x40), (0, 0), &mut out);
         assert!(out.iter().any(|o| matches!(o, PmuOut::Flush { .. })));
@@ -519,7 +549,7 @@ mod tests {
     #[test]
     fn pim_allocated_monitor_entry_needs_two_touches() {
         let mut p = pmu(DispatchPolicy::LocalityAware);
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         // Same block, three PEIs in sequence (completing in between).
         for (i, expect_mem) in [(1u64, true), (2, true), (3, false)] {
             out.clear();
@@ -564,7 +594,7 @@ mod tests {
     #[test]
     fn atomicity_serializes_same_block_writers() {
         let mut p = pmu(DispatchPolicy::HostOnly);
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         p.handle(0, request(1, PimOpKind::AddF64, 0x40), (0, 0), &mut out);
         p.handle(0, request(2, PimOpKind::AddF64, 0x40), (0, 0), &mut out);
         // Only the first got a decision.
@@ -585,7 +615,7 @@ mod tests {
     #[test]
     fn pfence_waits_for_outstanding_writers() {
         let mut p = pmu(DispatchPolicy::HostOnly);
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         p.handle(0, request(1, PimOpKind::IncU64, 0x40), (0, 0), &mut out);
         out.clear();
         p.handle(5, PmuIn::Pfence { core: CoreId(3) }, (0, 0), &mut out);
@@ -603,7 +633,7 @@ mod tests {
     #[test]
     fn pfence_ignores_readers() {
         let mut p = pmu(DispatchPolicy::HostOnly);
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         p.handle(0, request(1, PimOpKind::HashProbe, 0x40), (0, 0), &mut out);
         out.clear();
         p.handle(5, PmuIn::Pfence { core: CoreId(0) }, (0, 0), &mut out);
@@ -616,7 +646,7 @@ mod tests {
     #[test]
     fn balanced_dispatch_overrides_on_request_pressure() {
         let mut p = pmu(DispatchPolicy::LocalityAwareBalanced);
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         // Cold blocks, request channel saturated: SC's 80-byte PIM
         // requests should be overridden to host execution — dithered
         // 1-in-2, so two misses produce exactly one override.

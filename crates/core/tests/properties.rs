@@ -65,7 +65,9 @@ proptest! {
                     let oldest = fifo.iter().find(|id| held.contains_key(id)).copied();
                     if let Some(id) = oldest {
                         held.remove(&id);
-                        for (gid, gw) in dir.release(id) {
+                        let mut granted = Vec::new();
+                        dir.release(id, &mut granted);
+                        for (gid, gw) in granted {
                             let pos = queued.iter().position(|(q, _, _)| *q == gid)
                                 .expect("granted id was queued");
                             let (_, b, w) = queued.remove(pos);
@@ -80,7 +82,9 @@ proptest! {
         // Drain: releasing everything leaves the directory empty.
         while let Some(id) = fifo.iter().find(|id| held.contains_key(id)).copied() {
             held.remove(&id);
-            for (gid, _) in dir.release(id) {
+            let mut granted = Vec::new();
+            dir.release(id, &mut granted);
+            for (gid, _) in granted {
                 let pos = queued.iter().position(|(q, _, _)| *q == gid).unwrap();
                 let (_, b, w) = queued.remove(pos);
                 held.insert(gid, (b, w));

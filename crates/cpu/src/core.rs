@@ -9,6 +9,7 @@
 
 use crate::tlb::{PageMap, Tlb, PAGE_SHIFT};
 use crate::trace::Op;
+use pei_engine::{CounterId, Counters, Outbox};
 use pei_types::mem::ns;
 use pei_types::{Addr, CoreId, Cycle, OperandValue, PimOpKind, ReqId};
 use std::collections::{HashSet, VecDeque};
@@ -93,11 +94,10 @@ pub enum CoreStatus {
     Drained,
 }
 
-/// Result of one [`Core::tick`].
+/// Result of one [`Core::tick`]. Emitted messages land in the caller's
+/// outbox; the outcome only carries scheduling information.
 #[derive(Debug)]
 pub struct TickOutcome {
-    /// Messages to route.
-    pub outs: Vec<CoreOut>,
     /// Next cycle to tick this core, if it can make progress on its own.
     pub next: Option<Cycle>,
     /// Progress classification.
@@ -119,19 +119,41 @@ pub struct Core {
     parked: bool,
     tlb: Option<Tlb>,
     page_map: PageMap,
-    // statistics
-    instructions: u64,
-    tlb_walks: u64,
-    issued_peis: u64,
-    stall_mem: u64,
-    stall_pei_buffer: u64,
-    stall_pei_dep: u64,
-    stall_fence: u64,
+    counters: Counters,
+    c: CoreCounters,
+}
+
+/// The core's counter bank.
+#[derive(Debug)]
+struct CoreCounters {
+    instructions: CounterId,
+    tlb_walks: CounterId,
+    issued_peis: CounterId,
+    stall_mem: CounterId,
+    stall_pei_buffer: CounterId,
+    stall_pei_dep: CounterId,
+    stall_fence: CounterId,
+}
+
+impl CoreCounters {
+    fn register(c: &mut Counters) -> Self {
+        CoreCounters {
+            instructions: c.register("instructions"),
+            tlb_walks: c.register("tlb_walks"),
+            issued_peis: c.register("peis"),
+            stall_mem: c.register("stall.mem"),
+            stall_pei_buffer: c.register("stall.pei_buffer"),
+            stall_pei_dep: c.register("stall.pei_dep"),
+            stall_fence: c.register("stall.fence"),
+        }
+    }
 }
 
 impl Core {
     /// Creates an idle core.
     pub fn new(id: CoreId, cfg: CoreConfig) -> Self {
+        let mut counters = Counters::new();
+        let c = CoreCounters::register(&mut counters);
         Core {
             id,
             cfg,
@@ -145,13 +167,8 @@ impl Core {
             parked: false,
             tlb: None,
             page_map: PageMap::Identity,
-            instructions: 0,
-            tlb_walks: 0,
-            issued_peis: 0,
-            stall_mem: 0,
-            stall_pei_buffer: 0,
-            stall_pei_dep: 0,
-            stall_fence: 0,
+            counters,
+            c,
         }
     }
 
@@ -183,7 +200,7 @@ impl Core {
         if tlb.access(addr.0 >> PAGE_SHIFT) {
             None
         } else {
-            self.tlb_walks += 1;
+            self.counters.inc(self.c.tlb_walks);
             Some(tlb.walk_latency())
         }
     }
@@ -204,12 +221,12 @@ impl Core {
 
     /// Total instructions issued (for IPC).
     pub fn instructions(&self) -> u64 {
-        self.instructions
+        self.counters.get(self.c.instructions)
     }
 
     /// Total PEIs issued.
     pub fn issued_peis(&self) -> u64 {
-        self.issued_peis
+        self.counters.get(self.c.issued_peis)
     }
 
     /// Delivers a completion. Returns `true` if the core was parked and
@@ -233,15 +250,15 @@ impl Core {
         std::mem::take(&mut self.parked)
     }
 
-    /// Issues up to one cycle's worth of instructions at `now`.
-    pub fn tick(&mut self, now: Cycle) -> TickOutcome {
-        let mut outs = Vec::new();
+    /// Issues up to one cycle's worth of instructions at `now`, pushing
+    /// emitted messages into `out` (the caller's reusable outbox).
+    pub fn tick(&mut self, now: Cycle, out: &mut Outbox<CoreOut>) -> TickOutcome {
         let mut slots = self.cfg.issue_width;
         let mut blocked = false;
 
         while slots > 0 && !blocked {
             if self.fence_wait {
-                self.stall_fence += 1;
+                self.counters.inc(self.c.stall_fence);
                 blocked = true;
                 break;
             }
@@ -252,16 +269,15 @@ impl Core {
                 Op::Compute(n) => {
                     let take = n.min(slots);
                     slots -= take;
-                    self.instructions += take as u64;
+                    self.counters.add(self.c.instructions, take as u64);
                     let remaining = n - take;
                     if remaining > 0 {
                         if take == self.cfg.issue_width {
                             // Pure-compute stretch: fast-forward whole
                             // cycles instead of ticking one by one.
-                            self.instructions += remaining as u64;
+                            self.counters.add(self.c.instructions, remaining as u64);
                             let cycles = remaining.div_ceil(self.cfg.issue_width) as u64;
                             return TickOutcome {
-                                outs,
                                 next: Some(now + 1 + cycles),
                                 status: CoreStatus::Running,
                             };
@@ -272,13 +288,12 @@ impl Core {
                 Op::Load { addr, fence_prior } => {
                     let fenced = fence_prior && !self.mem_outstanding.is_empty();
                     if fenced || self.mem_outstanding.len() >= self.cfg.max_mem_inflight {
-                        self.stall_mem += 1;
+                        self.counters.inc(self.c.stall_mem);
                         self.ops.push_front(Op::Load { addr, fence_prior });
                         blocked = true;
                     } else if let Some(walk) = self.tlb_walk(addr) {
                         self.ops.push_front(Op::Load { addr, fence_prior });
                         return TickOutcome {
-                            outs,
                             next: Some(now + walk),
                             status: CoreStatus::Running,
                         };
@@ -286,24 +301,23 @@ impl Core {
                         self.next_mem_local += 1;
                         let id = ReqId::tagged(ns::CORE, self.id.0, self.next_mem_local);
                         self.mem_outstanding.insert(id);
-                        outs.push(CoreOut::Mem {
+                        out.push(CoreOut::Mem {
                             id,
                             addr: self.page_map.translate(addr),
                             write: false,
                         });
                         slots -= 1;
-                        self.instructions += 1;
+                        self.counters.inc(self.c.instructions);
                     }
                 }
                 Op::Store { addr } => {
                     if self.mem_outstanding.len() >= self.cfg.max_mem_inflight {
-                        self.stall_mem += 1;
+                        self.counters.inc(self.c.stall_mem);
                         self.ops.push_front(Op::Store { addr });
                         blocked = true;
                     } else if let Some(walk) = self.tlb_walk(addr) {
                         self.ops.push_front(Op::Store { addr });
                         return TickOutcome {
-                            outs,
                             next: Some(now + walk),
                             status: CoreStatus::Running,
                         };
@@ -311,13 +325,13 @@ impl Core {
                         self.next_mem_local += 1;
                         let id = ReqId::tagged(ns::CORE, self.id.0, self.next_mem_local);
                         self.mem_outstanding.insert(id);
-                        outs.push(CoreOut::Mem {
+                        out.push(CoreOut::Mem {
                             id,
                             addr: self.page_map.translate(addr),
                             write: true,
                         });
                         slots -= 1;
-                        self.instructions += 1;
+                        self.counters.inc(self.c.instructions);
                     }
                 }
                 Op::Pei {
@@ -333,9 +347,9 @@ impl Core {
                             .is_some_and(|dep| self.pei_outstanding.contains(&dep));
                     if dep_unmet || self.pei_credits_in_use >= self.cfg.max_pei_inflight {
                         if dep_unmet {
-                            self.stall_pei_dep += 1;
+                            self.counters.inc(self.c.stall_pei_dep);
                         } else {
-                            self.stall_pei_buffer += 1;
+                            self.counters.inc(self.c.stall_pei_buffer);
                         }
                         self.ops.push_front(Op::Pei {
                             op: kind,
@@ -353,7 +367,6 @@ impl Core {
                             dep_dist,
                         });
                         return TickOutcome {
-                            outs,
                             next: Some(now + walk),
                             status: CoreStatus::Running,
                         };
@@ -362,24 +375,24 @@ impl Core {
                         self.pei_next_seq += 1;
                         self.pei_outstanding.insert(seq);
                         self.pei_credits_in_use += 1;
-                        outs.push(CoreOut::Pei {
+                        out.push(CoreOut::Pei {
                             seq,
                             op: kind,
                             target: self.page_map.translate(target),
                             input,
                         });
                         slots -= 1;
-                        self.instructions += 1;
-                        self.issued_peis += 1;
+                        self.counters.inc(self.c.instructions);
+                        self.counters.inc(self.c.issued_peis);
                     }
                 }
                 Op::Pfence => {
                     if self.pei_outstanding.is_empty() {
-                        outs.push(CoreOut::PfenceReq);
+                        out.push(CoreOut::PfenceReq);
                         self.fence_wait = true;
-                        self.instructions += 1;
+                        self.counters.inc(self.c.instructions);
                     } else {
-                        self.stall_fence += 1;
+                        self.counters.inc(self.c.stall_fence);
                         self.ops.push_front(Op::Pfence);
                     }
                     blocked = true;
@@ -404,7 +417,6 @@ impl Core {
             CoreStatus::Running
         };
         TickOutcome {
-            outs,
             next: match status {
                 CoreStatus::Running => Some(now + 1),
                 _ => None,
@@ -415,15 +427,9 @@ impl Core {
 
     /// Dumps statistics under `prefix`.
     pub fn report(&self, prefix: &str, stats: &mut pei_engine::StatsReport) {
-        stats.bump(format!("{prefix}instructions"), self.instructions as f64);
-        stats.bump(format!("{prefix}peis"), self.issued_peis as f64);
-        stats.bump(format!("{prefix}stall.mem"), self.stall_mem as f64);
-        stats.bump(
-            format!("{prefix}stall.pei_buffer"),
-            self.stall_pei_buffer as f64,
-        );
-        stats.bump(format!("{prefix}stall.pei_dep"), self.stall_pei_dep as f64);
-        stats.bump(format!("{prefix}stall.fence"), self.stall_fence as f64);
+        // `tlb_walks` duplicates `tlb.misses` below; keep the key set as-is.
+        self.counters
+            .flush_if(prefix, stats, |name| name != "tlb_walks");
         let (h, m) = self.tlb_stats();
         stats.bump(format!("{prefix}tlb.hits"), h as f64);
         stats.bump(format!("{prefix}tlb.misses"), m as f64);
@@ -436,6 +442,23 @@ mod tests {
 
     fn core() -> Core {
         Core::new(CoreId(0), CoreConfig::paper())
+    }
+
+    /// Test adapter: tick with a fresh outbox, returning outcome + outs.
+    struct TickRes {
+        outs: Outbox<CoreOut>,
+        next: Option<Cycle>,
+        status: CoreStatus,
+    }
+
+    fn tick(c: &mut Core, now: Cycle) -> TickRes {
+        let mut outs = Outbox::new();
+        let o = c.tick(now, &mut outs);
+        TickRes {
+            outs,
+            next: o.next,
+            status: o.status,
+        }
     }
 
     fn pei_op(dep_dist: u16) -> Op {
@@ -457,10 +480,10 @@ mod tests {
             Op::load(Addr(0x100)),
             Op::load(Addr(0x140)),
         ]);
-        let o = c.tick(0);
+        let o = tick(&mut c, 0);
         assert_eq!(o.outs.len(), 4, "4-wide issue");
         assert_eq!(o.status, CoreStatus::Running);
-        let o2 = c.tick(1);
+        let o2 = tick(&mut c, 1);
         assert_eq!(o2.outs.len(), 1);
     }
 
@@ -468,12 +491,12 @@ mod tests {
     fn compute_fast_forward_preserves_instruction_count() {
         let mut c = core();
         c.push_ops(vec![Op::Compute(100), Op::load(Addr(0x40))]);
-        let o = c.tick(0);
+        let o = tick(&mut c, 0);
         assert_eq!(o.status, CoreStatus::Running);
         // 100 instructions at width 4 = 25 cycles.
         assert_eq!(o.next, Some(1 + 24));
         assert_eq!(c.instructions(), 100);
-        let o2 = c.tick(o.next.unwrap());
+        let o2 = tick(&mut c, o.next.unwrap());
         assert_eq!(o2.outs.len(), 1);
         assert_eq!(c.instructions(), 101);
     }
@@ -489,7 +512,7 @@ mod tests {
             },
         );
         c.push_ops((0..5).map(|i| Op::load(Addr(i * 64))).collect());
-        let o = c.tick(0);
+        let o = tick(&mut c, 0);
         assert_eq!(o.outs.len(), 2);
         assert_eq!(o.status, CoreStatus::Blocked);
         // Completion unblocks one more.
@@ -498,7 +521,7 @@ mod tests {
             _ => unreachable!(),
         };
         assert!(c.on_event(CoreEvent::MemDone(id)));
-        let o2 = c.tick(10);
+        let o2 = tick(&mut c, 10);
         assert_eq!(o2.outs.len(), 1);
     }
 
@@ -506,14 +529,14 @@ mod tests {
     fn pei_inflight_bounded_by_operand_buffer() {
         let mut c = core();
         c.push_ops((0..6).map(|_| pei_op(0)).collect());
-        let o = c.tick(0);
+        let o = tick(&mut c, 0);
         // Issue width 4 and buffer 4: exactly 4 PEIs leave.
         assert_eq!(o.outs.len(), 4);
-        let o2 = c.tick(1);
+        let o2 = tick(&mut c, 1);
         assert!(o2.outs.is_empty(), "buffer full blocks further PEIs");
         let woke = c.on_event(CoreEvent::PeiDone(0)) | c.on_event(CoreEvent::PeiCredit);
         assert!(woke, "at least one completion event wakes the core");
-        let o3 = c.tick(2);
+        let o3 = tick(&mut c, 2);
         assert_eq!(o3.outs.len(), 1);
     }
 
@@ -521,11 +544,11 @@ mod tests {
     fn dependent_pei_waits_for_producer() {
         let mut c = core();
         c.push_ops(vec![pei_op(0), pei_op(1)]);
-        let o = c.tick(0);
+        let o = tick(&mut c, 0);
         assert_eq!(o.outs.len(), 1, "dependent PEI must not issue");
         assert_eq!(o.status, CoreStatus::Blocked);
         c.on_event(CoreEvent::PeiDone(0));
-        let o2 = c.tick(5);
+        let o2 = tick(&mut c, 5);
         assert_eq!(o2.outs.len(), 1);
     }
 
@@ -540,12 +563,12 @@ mod tests {
             }
         }
         c.push_ops(ops);
-        let o = c.tick(0);
+        let o = tick(&mut c, 0);
         assert_eq!(o.outs.len(), 4, "first hops of all 4 chains in flight");
         // Completing chain 0's first hop admits its second hop.
         c.on_event(CoreEvent::PeiDone(0));
         c.on_event(CoreEvent::PeiCredit);
-        let o2 = c.tick(1);
+        let o2 = tick(&mut c, 1);
         assert_eq!(o2.outs.len(), 1);
     }
 
@@ -553,19 +576,19 @@ mod tests {
     fn pfence_waits_for_own_peis_then_blocks_on_pmu() {
         let mut c = core();
         c.push_ops(vec![pei_op(0), Op::Pfence, Op::Compute(1)]);
-        let o = c.tick(0);
+        let o = tick(&mut c, 0);
         assert_eq!(o.outs.len(), 1);
         assert_eq!(o.status, CoreStatus::Blocked, "fence waits for own PEI");
         c.on_event(CoreEvent::PeiDone(0));
         c.on_event(CoreEvent::PeiCredit);
-        let o2 = c.tick(10);
+        let o2 = tick(&mut c, 10);
         assert!(o2.outs.contains(&CoreOut::PfenceReq));
         assert_eq!(o2.status, CoreStatus::Blocked);
         // Nothing issues until PfenceDone.
-        let o3 = c.tick(11);
+        let o3 = tick(&mut c, 11);
         assert!(o3.outs.is_empty());
         c.on_event(CoreEvent::PfenceDone);
-        let o4 = c.tick(12);
+        let o4 = tick(&mut c, 12);
         assert_eq!(o4.status, CoreStatus::Drained); // trace exhausted
         assert_eq!(c.instructions(), 3);
     }
@@ -574,14 +597,14 @@ mod tests {
     fn drained_reported_after_completions() {
         let mut c = core();
         c.push_ops(vec![Op::load(Addr(0x40))]);
-        let o = c.tick(0);
+        let o = tick(&mut c, 0);
         let id = match &o.outs[0] {
             CoreOut::Mem { id, .. } => *id,
             _ => unreachable!(),
         };
         assert_ne!(o.status, CoreStatus::Drained);
         c.on_event(CoreEvent::MemDone(id));
-        let o2 = c.tick(1);
+        let o2 = tick(&mut c, 1);
         assert_eq!(o2.status, CoreStatus::Drained);
     }
 
@@ -595,14 +618,14 @@ mod tests {
                 fence_prior: true,
             },
         ]);
-        let o = c.tick(0);
+        let o = tick(&mut c, 0);
         assert_eq!(o.outs.len(), 1);
         let id = match &o.outs[0] {
             CoreOut::Mem { id, .. } => *id,
             _ => unreachable!(),
         };
         c.on_event(CoreEvent::MemDone(id));
-        let o2 = c.tick(1);
+        let o2 = tick(&mut c, 1);
         assert_eq!(o2.outs.len(), 1);
     }
 
@@ -610,14 +633,14 @@ mod tests {
     fn barrier_consumed_only_when_drained() {
         let mut c = core();
         c.push_ops(vec![Op::load(Addr(0x40)), Op::Barrier, Op::Compute(4)]);
-        let o = c.tick(0);
+        let o = tick(&mut c, 0);
         assert_eq!(o.status, CoreStatus::Blocked);
         let id = match &o.outs[0] {
             CoreOut::Mem { id, .. } => *id,
             _ => unreachable!(),
         };
         c.on_event(CoreEvent::MemDone(id));
-        let o2 = c.tick(5);
+        let o2 = tick(&mut c, 5);
         // Barrier consumed; compute continues in the same phase.
         assert!(o2.status == CoreStatus::Running || c.instructions() >= 1);
     }

@@ -4,6 +4,7 @@
 
 use pei_cpu::core::{Core, CoreConfig, CoreEvent, CoreOut, CoreStatus};
 use pei_cpu::trace::Op;
+use pei_engine::Outbox;
 use pei_types::{Addr, CoreId, OperandValue, PimOpKind};
 use proptest::prelude::*;
 use std::collections::VecDeque;
@@ -40,6 +41,7 @@ proptest! {
         core.push_ops(ops);
 
         let mut now = 0u64;
+        let mut outs = Outbox::new();
         let mut inflight_mem = VecDeque::new();
         let mut inflight_pei = VecDeque::new();
         let mut fence_pending = false;
@@ -47,9 +49,10 @@ proptest! {
         loop {
             steps += 1;
             prop_assert!(steps < 100_000, "runaway replay");
-            let outcome = core.tick(now);
-            prop_assert!(outcome.outs.len() <= 4 + 1, "more outs than issue width");
-            for out in outcome.outs {
+            outs.clear();
+            let outcome = core.tick(now, &mut outs);
+            prop_assert!(outs.len() <= 4 + 1, "more outs than issue width");
+            for out in outs.drain() {
                 match out {
                     CoreOut::Mem { id, .. } => inflight_mem.push_back(id),
                     CoreOut::Pei { seq, .. } => inflight_pei.push_back(seq),
@@ -92,12 +95,14 @@ proptest! {
             let mut core = Core::new(CoreId(0), CoreConfig::paper());
             core.push_ops(ops);
             let mut now = 0;
+            let mut outs = Outbox::new();
             let mut mem = VecDeque::new();
             let mut pei = VecDeque::new();
             let mut fence = false;
             loop {
-                let o = core.tick(now);
-                for out in o.outs {
+                outs.clear();
+                let o = core.tick(now, &mut outs);
+                for out in outs.drain() {
                     match out {
                         CoreOut::Mem { id, .. } => mem.push_back(id),
                         CoreOut::Pei { seq, .. } => pei.push_back(seq),

@@ -1,0 +1,138 @@
+//! Typed event counters: dense `u64` slots bumped on the hot path,
+//! flushed into a [`StatsReport`] only at end of run.
+//!
+//! Components register each counter once at construction and get back a
+//! copyable [`CounterId`] index; per-event bumps are then a single array
+//! add — no `String` formatting and no `BTreeMap` walk until the final
+//! report. See DESIGN.md §"Event kernel and outbox contract".
+
+use crate::StatsReport;
+
+/// Index of a registered counter (a dense slot in a [`Counters`] bank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(u32);
+
+/// A bank of named `u64` counters.
+///
+/// # Examples
+///
+/// ```
+/// use pei_engine::{Counters, StatsReport};
+///
+/// let mut c = Counters::new();
+/// let hits = c.register("hits");
+/// let misses = c.register("misses");
+/// c.inc(hits);
+/// c.add(misses, 2);
+/// assert_eq!(c.get(hits), 1);
+///
+/// let mut stats = StatsReport::new();
+/// c.flush("l1.", &mut stats);
+/// assert_eq!(stats.expect("l1.misses"), 2.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    names: Vec<&'static str>,
+    slots: Vec<u64>,
+}
+
+impl Counters {
+    /// Creates an empty bank.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Registers a counter under `name`, returning its slot id.
+    /// Construction-time only; names need not be unique (duplicates
+    /// would sum in [`flush`](Counters::flush), so don't).
+    pub fn register(&mut self, name: &'static str) -> CounterId {
+        let id = CounterId(self.names.len() as u32);
+        self.names.push(name);
+        self.slots.push(0);
+        id
+    }
+
+    /// Adds one to the counter. Hot path: one indexed add.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.slots[id.0 as usize] += 1;
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.slots[id.0 as usize] += n;
+    }
+
+    /// Current value.
+    pub fn get(&self, id: CounterId) -> u64 {
+        self.slots[id.0 as usize]
+    }
+
+    /// Writes every counter into `stats` as `{prefix}{name}`,
+    /// accumulating into existing keys. End-of-run only.
+    pub fn flush(&self, prefix: &str, stats: &mut StatsReport) {
+        self.flush_if(prefix, stats, |_| true);
+    }
+
+    /// Like [`flush`](Counters::flush), but only for counters whose name
+    /// passes `keep` — for banks holding internal tallies (fed to other
+    /// models at end of run) that are not part of the published report.
+    pub fn flush_if(&self, prefix: &str, stats: &mut StatsReport, keep: impl Fn(&str) -> bool) {
+        for (name, &v) in self.names.iter().zip(&self.slots) {
+            if keep(name) {
+                stats.bump(format!("{prefix}{name}"), v as f64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_inc_get() {
+        let mut c = Counters::new();
+        let a = c.register("a");
+        let b = c.register("b");
+        c.inc(a);
+        c.inc(a);
+        c.add(b, 10);
+        assert_eq!(c.get(a), 2);
+        assert_eq!(c.get(b), 10);
+    }
+
+    #[test]
+    fn flush_prefixes_and_accumulates() {
+        let mut c = Counters::new();
+        let a = c.register("reads");
+        c.add(a, 3);
+        let mut stats = StatsReport::new();
+        stats.add("dram.reads", 1.0);
+        c.flush("dram.", &mut stats);
+        assert_eq!(stats.expect("dram.reads"), 4.0);
+    }
+
+    #[test]
+    fn flush_if_filters_by_name() {
+        let mut c = Counters::new();
+        let pub_ = c.register("hits");
+        let internal = c.register("accesses");
+        c.inc(pub_);
+        c.inc(internal);
+        let mut stats = StatsReport::new();
+        c.flush_if("l3.", &mut stats, |n| n != "accesses");
+        assert_eq!(stats.expect("l3.hits"), 1.0);
+        assert_eq!(stats.get("l3.accesses"), None);
+    }
+
+    #[test]
+    fn zero_counters_still_flush() {
+        let mut c = Counters::new();
+        c.register("idle");
+        let mut stats = StatsReport::new();
+        c.flush("x.", &mut stats);
+        assert_eq!(stats.expect("x.idle"), 0.0);
+    }
+}

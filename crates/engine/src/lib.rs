@@ -25,12 +25,16 @@
 
 pub mod channel;
 pub mod clock;
+pub mod counters;
+pub mod outbox;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 
 pub use channel::{BwChannel, Occupancy, OccupancyPool};
 pub use clock::ClockDomain;
+pub use counters::{CounterId, Counters};
+pub use outbox::Outbox;
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::StatsReport;

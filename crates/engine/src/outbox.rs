@@ -1,0 +1,132 @@
+//! Reusable output buffers for component handlers.
+//!
+//! Every component in the simulator communicates by pushing typed output
+//! messages into a buffer owned by its caller (`pei-system`). Allocating
+//! a fresh `Vec` per event puts ~one malloc/free pair on every hot-path
+//! dispatch; an [`Outbox`] is instead owned long-term by the system,
+//! handed to a handler by `&mut`, drained by the router, and reused —
+//! its capacity is retained across events, so steady state allocates
+//! nothing. See DESIGN.md §"Event kernel and outbox contract".
+
+/// A reusable, capacity-retaining output buffer.
+///
+/// Semantically a `Vec<T>` restricted to the producer/consumer protocol
+/// the event kernel needs: handlers [`push`](Outbox::push), the router
+/// [`drain`](Outbox::drain)s, and the backing allocation survives for
+/// the next event. Dereferences to `[T]` for inspection (tests index and
+/// iterate outboxes like slices).
+///
+/// # Examples
+///
+/// ```
+/// use pei_engine::Outbox;
+///
+/// let mut out: Outbox<u32> = Outbox::new();
+/// out.push(7);
+/// out.push(9);
+/// assert_eq!(out[0], 7);
+/// assert_eq!(out.drain().collect::<Vec<_>>(), vec![7, 9]);
+/// assert!(out.is_empty()); // drained, but capacity is retained
+/// ```
+#[derive(Debug, Clone)]
+pub struct Outbox<T> {
+    items: Vec<T>,
+}
+
+impl<T> Outbox<T> {
+    /// Creates an empty outbox (no allocation until the first push).
+    pub fn new() -> Self {
+        Outbox { items: Vec::new() }
+    }
+
+    /// Creates an empty outbox with room for `cap` items.
+    pub fn with_capacity(cap: usize) -> Self {
+        Outbox {
+            items: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends an output message.
+    pub fn push(&mut self, item: T) {
+        self.items.push(item);
+    }
+
+    /// Consumes all buffered messages in FIFO order, leaving the
+    /// allocation in place for reuse.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, T> {
+        self.items.drain(..)
+    }
+
+    /// Discards all buffered messages, retaining capacity.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Current allocated capacity, in items.
+    pub fn capacity(&self) -> usize {
+        self.items.capacity()
+    }
+}
+
+impl<T> Default for Outbox<T> {
+    fn default() -> Self {
+        Outbox::new()
+    }
+}
+
+impl<T> std::ops::Deref for Outbox<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        &self.items
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Outbox<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_preserves_fifo_and_capacity() {
+        let mut out = Outbox::with_capacity(4);
+        for i in 0..4 {
+            out.push(i);
+        }
+        let cap = out.capacity();
+        assert_eq!(out.drain().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert!(out.is_empty());
+        assert_eq!(out.capacity(), cap, "drain must not shrink the buffer");
+        out.push(9);
+        assert_eq!(out[0], 9);
+    }
+
+    #[test]
+    fn slice_access_via_deref() {
+        let mut out = Outbox::new();
+        out.push("a");
+        out.push("b");
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.iter().copied().collect::<Vec<_>>(), vec!["a", "b"]);
+        assert!(out.contains(&"b"));
+        out.clear();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn take_leaves_reusable_default() {
+        let mut out: Outbox<u8> = Outbox::new();
+        out.push(1);
+        let taken = std::mem::take(&mut out);
+        assert_eq!(taken.len(), 1);
+        assert!(out.is_empty(), "take leaves an empty (allocation-free) box");
+    }
+}

@@ -56,8 +56,14 @@ impl StatsReport {
 
     /// Sum of all statistics whose name starts with `prefix`.
     pub fn sum_prefix(&self, prefix: &str) -> f64 {
+        // Borrowed range bound: `BTreeMap<String, _>` ranges accept any
+        // `Q: Ord` that `String` borrows to, so `&str` works without
+        // allocating a `String` per query.
         self.values
-            .range(prefix.to_string()..)
+            .range::<str, _>((
+                std::ops::Bound::Included(prefix),
+                std::ops::Bound::Unbounded,
+            ))
             .take_while(|(k, _)| k.starts_with(prefix))
             .map(|(_, v)| v)
             .sum()
@@ -140,6 +146,21 @@ mod tests {
         assert_eq!(s.sum_prefix("dram."), 5.0);
         assert_eq!(s.sum_prefix("link."), 100.0);
         assert_eq!(s.sum_prefix("zzz"), 0.0);
+    }
+
+    #[test]
+    fn prefix_sum_boundaries() {
+        // `l3.` must not pick up `l3x...` (which sorts after `l3.`) nor
+        // `l3` itself; the prefix is matched literally, not as a word.
+        let mut s = StatsReport::new();
+        s.add("l3", 1.0);
+        s.add("l3.hits", 2.0);
+        s.add("l3.misses", 4.0);
+        s.add("l3x.hits", 8.0);
+        s.add("l4.hits", 16.0);
+        assert_eq!(s.sum_prefix("l3."), 6.0);
+        assert_eq!(s.sum_prefix("l3"), 15.0); // `l3`, `l3.*`, and `l3x.*`
+        assert_eq!(s.sum_prefix(""), 31.0); // empty prefix sums everything
     }
 
     #[test]

@@ -22,6 +22,54 @@ proptest! {
         }
     }
 
+    /// Same-cycle FIFO order survives arbitrary interleavings of
+    /// schedules and pops — including schedules issued *while popping*,
+    /// which must land behind every event already queued for that cycle
+    /// (the system relies on this when a handler re-schedules work for
+    /// the cycle it is currently draining).
+    #[test]
+    fn event_queue_fifo_under_interleaving(
+        ops in proptest::collection::vec((0u64..6, 0u32..4), 1..300),
+    ) {
+        use std::collections::{BTreeMap, VecDeque};
+        // Reference model: per-cycle FIFO queues keyed by time; a pop
+        // must return the front of the first non-empty cycle.
+        let mut q = EventQueue::new();
+        let mut model: BTreeMap<u64, VecDeque<usize>> = BTreeMap::new();
+        let mut next_id = 0usize;
+        for &(t, kind) in &ops {
+            if kind == 1 || kind == 2 {
+                q.schedule(t, next_id);
+                model.entry(t).or_default().push_back(next_id);
+                next_id += 1;
+            } else if let Some((pt, id)) = q.pop() {
+                let (&mt, fifo) = model
+                    .iter_mut()
+                    .find(|(_, f)| !f.is_empty())
+                    .expect("queue produced an event the model does not have");
+                prop_assert_eq!(pt, mt, "popped out of time order");
+                prop_assert_eq!(id, fifo.pop_front().unwrap(), "same-cycle FIFO violated");
+                if kind == 3 {
+                    // Mid-drain schedule at the cycle being popped.
+                    q.schedule(pt, next_id);
+                    model.entry(pt).or_default().push_back(next_id);
+                    next_id += 1;
+                }
+            } else {
+                prop_assert!(model.values().all(|f| f.is_empty()), "queue empty, model not");
+            }
+        }
+        while let Some((pt, id)) = q.pop() {
+            let (&mt, fifo) = model
+                .iter_mut()
+                .find(|(_, f)| !f.is_empty())
+                .expect("queue produced an event the model does not have");
+            prop_assert_eq!(pt, mt, "drain popped out of time order");
+            prop_assert_eq!(id, fifo.pop_front().unwrap(), "drain violated same-cycle FIFO");
+        }
+        prop_assert!(model.values().all(|f| f.is_empty()), "events lost in the queue");
+    }
+
     /// Channel deliveries are monotone in submission order and never
     /// faster than serialization allows.
     #[test]

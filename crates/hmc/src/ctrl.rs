@@ -3,7 +3,7 @@
 //! balanced dispatch (§7.4).
 
 use crate::config::HmcConfig;
-use pei_engine::{BwChannel, StatsReport};
+use pei_engine::{BwChannel, CounterId, Counters, Outbox, StatsReport};
 use pei_types::ids::VaultLoc;
 use pei_types::packet::PacketKind;
 use pei_types::{BlockAddr, Cycle, FlitCount, PimCmd, PimOut, ReqId, FLIT_BYTES};
@@ -145,7 +145,7 @@ impl BalanceCounters {
 ///
 /// let cfg = HmcConfig::scaled();
 /// let mut ctrl = HmcController::new(&cfg);
-/// let mut out = Vec::new();
+/// let mut out = pei_engine::Outbox::new();
 /// ctrl.handle_host(0, CtrlIn::Read { id: ReqId(1), block: BlockAddr(0) }, &mut out);
 /// assert!(matches!(out[0], pei_hmc::CtrlOut::ToVault { .. }));
 /// ```
@@ -155,12 +155,34 @@ pub struct HmcController {
     req_link: BwChannel,
     res_link: BwChannel,
     balance: BalanceCounters,
-    // cumulative off-chip traffic (Fig. 7)
-    req_flits: u64,
-    res_flits: u64,
-    reads: u64,
-    writes: u64,
-    pims: u64,
+    /// Reads forwarded to vaults minus responses returned: the link
+    /// controller's in-flight window, for deadlock diagnostics.
+    pending_reads: u64,
+    counters: Counters,
+    c: CtrlCounters,
+}
+
+/// Dense counter slots registered at construction (hot-path bumps are
+/// indexed adds; names materialize only in [`HmcController::report`]).
+#[derive(Debug, Clone, Copy)]
+struct CtrlCounters {
+    req_flits: CounterId,
+    res_flits: CounterId,
+    reads: CounterId,
+    writes: CounterId,
+    pims: CounterId,
+}
+
+impl CtrlCounters {
+    fn register(counters: &mut Counters) -> Self {
+        CtrlCounters {
+            req_flits: counters.register("req_flits"),
+            res_flits: counters.register("res_flits"),
+            reads: counters.register("reads"),
+            writes: counters.register("writes"),
+            pims: counters.register("pim_cmds"),
+        }
+    }
 }
 
 impl HmcController {
@@ -173,22 +195,22 @@ impl HmcController {
 
     /// Creates a controller for the chain described by `cfg`.
     pub fn new(cfg: &HmcConfig) -> Self {
+        let mut counters = Counters::new();
+        let c = CtrlCounters::register(&mut counters);
         HmcController {
             cfg: *cfg,
             req_link: BwChannel::new(cfg.link_bytes_per_cycle, cfg.link_latency),
             res_link: BwChannel::new(cfg.link_bytes_per_cycle, cfg.link_latency),
             balance: BalanceCounters::new(Self::BALANCE_WINDOW),
-            req_flits: 0,
-            res_flits: 0,
-            reads: 0,
-            writes: 0,
-            pims: 0,
+            pending_reads: 0,
+            counters,
+            c,
         }
     }
 
     fn send_req(&mut self, now: Cycle, kind: PacketKind, cube: u16) -> Cycle {
         let flits = kind.flits();
-        self.req_flits += flits;
+        self.counters.add(self.c.req_flits, flits);
         self.balance.note(now, true, flits);
         let delivered = self.req_link.transfer(now, flits * FLIT_BYTES as u64);
         delivered + self.cfg.hop_latency * cube as u64
@@ -196,17 +218,18 @@ impl HmcController {
 
     fn send_res(&mut self, now: Cycle, kind: PacketKind, cube: u16) -> Cycle {
         let flits = kind.flits();
-        self.res_flits += flits;
+        self.counters.add(self.c.res_flits, flits);
         self.balance.note(now, false, flits);
         let entered = now + self.cfg.hop_latency * cube as u64;
         self.res_link.transfer(entered, flits * FLIT_BYTES as u64)
     }
 
     /// Handles a host-side input (from L3 banks or the PMU).
-    pub fn handle_host(&mut self, now: Cycle, input: CtrlIn, out: &mut Vec<CtrlOut>) {
+    pub fn handle_host(&mut self, now: Cycle, input: CtrlIn, out: &mut Outbox<CtrlOut>) {
         match input {
             CtrlIn::Read { id, block } => {
-                self.reads += 1;
+                self.counters.inc(self.c.reads);
+                self.pending_reads += 1;
                 let (loc, _, _) = self.cfg.route(block);
                 let at = self.send_req(now, PacketKind::ReadReq, loc.cube.0);
                 out.push(CtrlOut::ToVault {
@@ -220,7 +243,7 @@ impl HmcController {
                 });
             }
             CtrlIn::Write { block } => {
-                self.writes += 1;
+                self.counters.inc(self.c.writes);
                 let (loc, _, _) = self.cfg.route(block);
                 let at = self.send_req(now, PacketKind::WriteReq, loc.cube.0);
                 out.push(CtrlOut::ToVault {
@@ -234,7 +257,7 @@ impl HmcController {
                 });
             }
             CtrlIn::Pim { cmd } => {
-                self.pims += 1;
+                self.counters.inc(self.c.pims);
                 let (loc, _, _) = self.cfg.route(cmd.block());
                 let kind = PacketKind::PimReq {
                     input_bytes: cmd.input.byte_len() as u16,
@@ -246,9 +269,10 @@ impl HmcController {
     }
 
     /// Handles a memory-side completion arriving on the response link.
-    pub fn handle_mem_side(&mut self, now: Cycle, input: MemSideIn, out: &mut Vec<CtrlOut>) {
+    pub fn handle_mem_side(&mut self, now: Cycle, input: MemSideIn, out: &mut Outbox<CtrlOut>) {
         match input {
             MemSideIn::ReadDone { id, block, cube } => {
+                self.pending_reads = self.pending_reads.saturating_sub(1);
                 let at = self.send_res(now, PacketKind::ReadResp, cube);
                 out.push(CtrlOut::ReadResp { id, block, at });
             }
@@ -269,21 +293,27 @@ impl HmcController {
 
     /// Cumulative off-chip traffic in flits `(request, response)`.
     pub fn total_flits(&self) -> (u64, u64) {
-        (self.req_flits, self.res_flits)
+        (
+            self.counters.get(self.c.req_flits),
+            self.counters.get(self.c.res_flits),
+        )
     }
 
     /// Cumulative off-chip traffic in bytes, both directions.
     pub fn total_bytes(&self) -> u64 {
-        (self.req_flits + self.res_flits) * FLIT_BYTES as u64
+        let (req, res) = self.total_flits();
+        (req + res) * FLIT_BYTES as u64
+    }
+
+    /// Reads forwarded to the vaults whose responses have not yet come
+    /// back (deadlock diagnostics).
+    pub fn pending_reads(&self) -> u64 {
+        self.pending_reads
     }
 
     /// Dumps statistics under `prefix`.
     pub fn report(&self, prefix: &str, stats: &mut StatsReport) {
-        stats.add(format!("{prefix}req_flits"), self.req_flits as f64);
-        stats.add(format!("{prefix}res_flits"), self.res_flits as f64);
-        stats.add(format!("{prefix}reads"), self.reads as f64);
-        stats.add(format!("{prefix}writes"), self.writes as f64);
-        stats.add(format!("{prefix}pim_cmds"), self.pims as f64);
+        self.counters.flush(prefix, stats);
     }
 }
 
@@ -299,7 +329,7 @@ mod tests {
     #[test]
     fn read_costs_16_req_80_res_bytes() {
         let mut c = ctrl();
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         c.handle_host(
             0,
             CtrlIn::Read {
@@ -325,7 +355,7 @@ mod tests {
     #[test]
     fn write_costs_80_req_bytes() {
         let mut c = ctrl();
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         c.handle_host(
             0,
             CtrlIn::Write {
@@ -342,7 +372,7 @@ mod tests {
     fn pim_add_costs_32_req_16_res_bytes() {
         // §2.2: memory-side addition sends only the 8-byte delta.
         let mut c = ctrl();
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         c.handle_host(
             0,
             CtrlIn::Pim {
@@ -376,7 +406,7 @@ mod tests {
     fn routes_to_correct_vault() {
         let cfg = HmcConfig::scaled();
         let mut c = HmcController::new(&cfg);
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         let block = BlockAddr(0b10_0101);
         c.handle_host(
             0,
@@ -411,7 +441,7 @@ mod tests {
     #[test]
     fn link_serializes_heavy_traffic() {
         let mut c = ctrl();
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         // Many back-to-back writes (80 B each at 10 B/cycle = 8 cycles each).
         for i in 0..10 {
             c.handle_host(

@@ -2,7 +2,7 @@
 //! logic die (FR-FCFS, open page) and TSV vertical link.
 
 use crate::config::{HmcConfig, PagePolicy};
-use pei_engine::{BwChannel, StatsReport};
+use pei_engine::{BwChannel, CounterId, Counters, Outbox, StatsReport};
 use pei_types::{BlockAddr, Cycle, ReqId, BLOCK_BYTES};
 use std::collections::VecDeque;
 
@@ -62,17 +62,38 @@ pub struct Vault {
     banks: Vec<DramBank>,
     cfg: HmcConfig,
     tsv: BwChannel,
-    // statistics
-    activates: u64,
-    reads: u64,
-    writes: u64,
-    row_hits: u64,
-    refresh_delays: u64,
+    counters: Counters,
+    c: VaultCounters,
+}
+
+/// Dense counter slots registered at construction (hot-path bumps are
+/// indexed adds; names materialize only in [`Vault::report`]).
+#[derive(Debug, Clone, Copy)]
+struct VaultCounters {
+    activates: CounterId,
+    reads: CounterId,
+    writes: CounterId,
+    row_hits: CounterId,
+    refresh_delays: CounterId,
+}
+
+impl VaultCounters {
+    fn register(counters: &mut Counters) -> Self {
+        VaultCounters {
+            activates: counters.register("activates"),
+            reads: counters.register("reads"),
+            writes: counters.register("writes"),
+            row_hits: counters.register("row_hits"),
+            refresh_delays: counters.register("refresh_delays"),
+        }
+    }
 }
 
 impl Vault {
     /// Creates an idle vault per `cfg`.
     pub fn new(cfg: &HmcConfig) -> Self {
+        let mut counters = Counters::new();
+        let c = VaultCounters::register(&mut counters);
         Vault {
             banks: (0..cfg.banks_per_vault)
                 .map(|_| DramBank {
@@ -84,11 +105,8 @@ impl Vault {
                 .collect(),
             cfg: *cfg,
             tsv: BwChannel::new(cfg.tsv_bytes_per_cycle, 2),
-            activates: 0,
-            reads: 0,
-            writes: 0,
-            row_hits: 0,
-            refresh_delays: 0,
+            counters,
+            c,
         }
     }
 
@@ -100,7 +118,7 @@ impl Vault {
         };
         let phase = start % r.t_refi;
         if phase < r.t_rfc {
-            self.refresh_delays += 1;
+            self.counters.inc(self.c.refresh_delays);
             start - phase + r.t_rfc
         } else {
             start
@@ -108,7 +126,7 @@ impl Vault {
     }
 
     /// Enqueues an access and starts bank work if possible.
-    pub fn handle_access(&mut self, now: Cycle, req: VaultIn, out: &mut Vec<VaultOut>) {
+    pub fn handle_access(&mut self, now: Cycle, req: VaultIn, out: &mut Outbox<VaultOut>) {
         let (_loc, bank, row) = self.cfg.route(req.block);
         self.banks[bank.index()]
             .queue
@@ -117,7 +135,7 @@ impl Vault {
     }
 
     /// Wakeup: scan banks for startable work.
-    pub fn wake(&mut self, now: Cycle, out: &mut Vec<VaultOut>) {
+    pub fn wake(&mut self, now: Cycle, out: &mut Outbox<VaultOut>) {
         for b in 0..self.banks.len() {
             // This wake consumes any outstanding wakeup scheduled at or
             // before `now`.
@@ -128,7 +146,7 @@ impl Vault {
         }
     }
 
-    fn try_start(&mut self, bank_idx: usize, now: Cycle, out: &mut Vec<VaultOut>) {
+    fn try_start(&mut self, bank_idx: usize, now: Cycle, out: &mut Outbox<VaultOut>) {
         let start = {
             let bank = &mut self.banks[bank_idx];
             if bank.queue.is_empty() {
@@ -164,12 +182,12 @@ impl Vault {
             Some(_) => (t.t_rp + t.t_rcd + t.t_cl, true, false),
             None => (t.t_rcd + t.t_cl, true, false),
         };
-        self.activates += u64::from(activated);
-        self.row_hits += u64::from(row_hit);
+        self.counters.add(self.c.activates, u64::from(activated));
+        self.counters.add(self.c.row_hits, u64::from(row_hit));
         if pending.req.write {
-            self.writes += 1;
+            self.counters.inc(self.c.writes);
         } else {
-            self.reads += 1;
+            self.counters.inc(self.c.reads);
         }
 
         let burst_done = start + access_lat + t.t_bl;
@@ -201,22 +219,15 @@ impl Vault {
 
     /// DRAM accesses served so far (reads + writes).
     pub fn accesses(&self) -> u64 {
-        self.reads + self.writes
+        self.counters.get(self.c.reads) + self.counters.get(self.c.writes)
     }
 
     /// Dumps statistics under `prefix`.
     pub fn report(&self, prefix: &str, stats: &mut StatsReport) {
-        stats.bump(format!("{prefix}activates"), self.activates as f64);
-        stats.bump(format!("{prefix}reads"), self.reads as f64);
-        stats.bump(format!("{prefix}writes"), self.writes as f64);
-        stats.bump(format!("{prefix}row_hits"), self.row_hits as f64);
+        self.counters.flush(prefix, stats);
         stats.bump(
             format!("{prefix}tsv_bytes"),
             self.tsv.bytes_carried() as f64,
-        );
-        stats.bump(
-            format!("{prefix}refresh_delays"),
-            self.refresh_delays as f64,
         );
     }
 }
@@ -251,12 +262,12 @@ mod tests {
         // Tiny event loop for the vault alone.
         let mut done = Vec::new();
         let mut wakes: Vec<Cycle> = Vec::new();
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         for &(t, r) in reqs {
             v.handle_access(t, r, &mut out);
         }
         loop {
-            for o in out.drain(..) {
+            for o in out.drain() {
                 match o {
                     VaultOut::Done { id, at, .. } => done.push((id, at)),
                     VaultOut::Wake { at } => wakes.push(at),

@@ -14,7 +14,7 @@ use crate::msg::{
     Grant, L3Req, L3ReqKind, L3Resp, MemFetch, MemFetchDone, PimFlush, PimFlushDone, Recall,
     RecallAck, RecallOp,
 };
-use pei_engine::{Occupancy, StatsReport};
+use pei_engine::{CounterId, Counters, Occupancy, Outbox, StatsReport};
 use pei_types::{BlockAddr, Cycle, L3BankId, ReqId};
 use std::collections::{HashMap, VecDeque};
 
@@ -101,19 +101,43 @@ pub struct L3Bank {
     port: Occupancy,
     lat: Cycle,
     next_fetch: u64,
-    // statistics
-    hits: u64,
-    misses: u64,
-    evictions: u64,
-    writebacks: u64,
-    recalls: u64,
-    flushes: u64,
-    accesses: u64,
+    retry_scratch: VecDeque<L3In>,
+    counters: Counters,
+    c: L3Counters,
+}
+
+/// Dense counter slots registered at construction (hot-path bumps are
+/// indexed adds; names materialize only in [`L3Bank::report`]).
+#[derive(Debug, Clone, Copy)]
+struct L3Counters {
+    hits: CounterId,
+    misses: CounterId,
+    evictions: CounterId,
+    writebacks: CounterId,
+    recalls: CounterId,
+    flushes: CounterId,
+    accesses: CounterId,
+}
+
+impl L3Counters {
+    fn register(counters: &mut Counters) -> Self {
+        L3Counters {
+            hits: counters.register("hits"),
+            misses: counters.register("misses"),
+            evictions: counters.register("evictions"),
+            writebacks: counters.register("writebacks"),
+            recalls: counters.register("recalls"),
+            flushes: counters.register("flushes"),
+            accesses: counters.register("accesses"),
+        }
+    }
 }
 
 impl L3Bank {
     /// Creates bank `id` of the L3 described by `cfg`.
     pub fn new(id: L3BankId, cfg: &MemHierarchyConfig) -> Self {
+        let mut counters = Counters::new();
+        let c = L3Counters::register(&mut counters);
         L3Bank {
             id,
             array: CacheArray::with_shift(cfg.l3_sets_per_bank(), cfg.l3.ways, cfg.l3_bank_bits()),
@@ -123,13 +147,9 @@ impl L3Bank {
             port: Occupancy::new(),
             lat: cfg.l3.latency,
             next_fetch: 0,
-            hits: 0,
-            misses: 0,
-            evictions: 0,
-            writebacks: 0,
-            recalls: 0,
-            flushes: 0,
-            accesses: 0,
+            retry_scratch: VecDeque::new(),
+            counters,
+            c,
         }
     }
 
@@ -144,7 +164,7 @@ impl L3Bank {
     }
 
     /// Processes one input message, pushing outputs into `out`.
-    pub fn handle(&mut self, now: Cycle, input: L3In, out: &mut Vec<L3Out>) {
+    pub fn handle(&mut self, now: Cycle, input: L3In, out: &mut Outbox<L3Out>) {
         match input {
             L3In::Req(req) => self.on_req(now, req, out),
             L3In::Ack(ack) => self.on_ack(now, ack, out),
@@ -153,7 +173,7 @@ impl L3Bank {
         }
     }
 
-    fn on_req(&mut self, now: Cycle, req: L3Req, out: &mut Vec<L3Out>) {
+    fn on_req(&mut self, now: Cycle, req: L3Req, out: &mut Outbox<L3Out>) {
         // Victim notices never block: they carry no response and must not
         // deadlock behind a transaction that is recalling their sender.
         if matches!(req.kind, L3ReqKind::PutS | L3ReqKind::PutM) {
@@ -165,7 +185,7 @@ impl L3Bank {
             return;
         }
         let start = self.port.reserve(now, 1);
-        self.accesses += 1;
+        self.counters.inc(self.c.accesses);
         match self.array.lookup(req.block) {
             Some(_) => self.on_hit(start, req, out),
             None => self.on_miss(start, req, out),
@@ -186,39 +206,32 @@ impl L3Bank {
         // the victim notice; nothing to do (the recall already handled it).
     }
 
-    fn on_hit(&mut self, start: Cycle, req: L3Req, out: &mut Vec<L3Out>) {
-        self.hits += 1;
+    fn on_hit(&mut self, start: Cycle, req: L3Req, out: &mut Outbox<L3Out>) {
+        self.counters.inc(self.c.hits);
         let line = self.array.line(req.block).expect("hit");
-        let recalls: Vec<Recall> = match req.kind {
+        // The recall set is a presence mask plus an op: iterating the mask
+        // directly emits the same cores in the same order the collected
+        // `Vec<Recall>` used to, with no staging buffer.
+        let (mask, op) = match req.kind {
             L3ReqKind::GetS => match line.owner {
-                Some(owner) if owner != req.core => vec![Recall {
-                    core: owner,
-                    block: req.block,
-                    op: RecallOp::Downgrade,
-                }],
-                _ => Vec::new(),
+                Some(owner) if owner != req.core => (presence::add(0, owner), RecallOp::Downgrade),
+                _ => (0, RecallOp::Downgrade),
             },
             L3ReqKind::GetM => {
                 let mut mask = line.presence;
                 if let Some(owner) = line.owner {
                     mask = presence::add(mask, owner);
                 }
-                mask = presence::remove(mask, req.core);
-                presence::iter(mask)
-                    .map(|core| Recall {
-                        core,
-                        block: req.block,
-                        op: RecallOp::Invalidate,
-                    })
-                    .collect()
+                (presence::remove(mask, req.core), RecallOp::Invalidate)
             }
             L3ReqKind::PutS | L3ReqKind::PutM => unreachable!("puts handled separately"),
         };
 
-        if recalls.is_empty() {
+        let n = presence::count(mask);
+        if n == 0 {
             self.grant(start + self.lat, req, out);
         } else {
-            self.recalls += recalls.len() as u64;
+            self.counters.add(self.c.recalls, n as u64);
             let line = self.array.line_mut(req.block).expect("hit");
             line.locked = true;
             self.txns.insert(
@@ -226,14 +239,18 @@ impl L3Bank {
                 Txn {
                     kind: TxnKind::Grant { req },
                     phase: Phase::RecallAcks,
-                    pending_acks: recalls.len() as u32,
+                    pending_acks: n,
                     dirty_seen: false,
                     deferred: VecDeque::new(),
                 },
             );
-            for r in recalls {
+            for core in presence::iter(mask) {
                 out.push(L3Out::Recall {
-                    recall: r,
+                    recall: Recall {
+                        core,
+                        block: req.block,
+                        op,
+                    },
                     at: start + self.lat,
                 });
             }
@@ -242,7 +259,7 @@ impl L3Bank {
 
     /// Updates directory state and emits the grant for a request whose
     /// recalls (if any) are complete. The line must be present.
-    fn grant(&mut self, at: Cycle, req: L3Req, out: &mut Vec<L3Out>) {
+    fn grant(&mut self, at: Cycle, req: L3Req, out: &mut Outbox<L3Out>) {
         let line = self.array.line_mut(req.block).expect("grant needs line");
         let grant = match req.kind {
             L3ReqKind::GetS => {
@@ -280,12 +297,12 @@ impl L3Bank {
         });
     }
 
-    fn on_miss(&mut self, start: Cycle, req: L3Req, out: &mut Vec<L3Out>) {
+    fn on_miss(&mut self, start: Cycle, req: L3Req, out: &mut Outbox<L3Out>) {
         if self.txns.len() >= self.txn_cap {
             self.overflow.push_back(L3In::Req(req));
             return;
         }
-        self.misses += 1;
+        self.counters.inc(self.c.misses);
         let Some((way, victim_ref)) = self.array.victim_way(req.block) else {
             // Every way locked by in-flight transactions: retry later.
             self.overflow.push_back(L3In::Req(req));
@@ -294,7 +311,7 @@ impl L3Bank {
         let victim = victim_ref.cloned();
         match victim {
             Some(v) => {
-                self.evictions += 1;
+                self.counters.inc(self.c.evictions);
                 // Take the victim out and install a locked placeholder for
                 // the incoming block so the way cannot be double-booked.
                 self.array.take_way(req.block, way);
@@ -307,33 +324,34 @@ impl L3Bank {
                 if let Some(owner) = v.owner {
                     mask = presence::add(mask, owner);
                 }
-                let targets: Vec<_> = presence::iter(mask).collect();
-                if targets.is_empty() {
+                let n = presence::count(mask);
+                if n == 0 {
                     // No private copies: write back if dirty, fetch now.
                     if v.dirty {
                         self.writeback(start + self.lat, v.block, out);
                     }
                     self.start_fetch(start, req, out);
                 } else {
-                    self.recalls += targets.len() as u64;
+                    self.counters.add(self.c.recalls, n as u64);
+                    let victim_block = v.block;
                     self.txns.insert(
                         req.block,
                         Txn {
                             kind: TxnKind::Fill {
                                 req,
-                                victim: Some(v.clone()),
+                                victim: Some(v),
                             },
                             phase: Phase::VictimAcks,
-                            pending_acks: targets.len() as u32,
+                            pending_acks: n,
                             dirty_seen: false,
                             deferred: VecDeque::new(),
                         },
                     );
-                    for core in targets {
+                    for core in presence::iter(mask) {
                         out.push(L3Out::Recall {
                             recall: Recall {
                                 core,
-                                block: v.block,
+                                block: victim_block,
                                 op: RecallOp::Invalidate,
                             },
                             at: start + self.lat,
@@ -351,7 +369,7 @@ impl L3Bank {
         }
     }
 
-    fn start_fetch(&mut self, start: Cycle, req: L3Req, out: &mut Vec<L3Out>) {
+    fn start_fetch(&mut self, start: Cycle, req: L3Req, out: &mut Outbox<L3Out>) {
         let id = self.fetch_id();
         self.txns.insert(
             req.block,
@@ -373,8 +391,8 @@ impl L3Bank {
         });
     }
 
-    fn writeback(&mut self, at: Cycle, block: BlockAddr, out: &mut Vec<L3Out>) {
-        self.writebacks += 1;
+    fn writeback(&mut self, at: Cycle, block: BlockAddr, out: &mut Outbox<L3Out>) {
+        self.counters.inc(self.c.writebacks);
         let id = self.fetch_id();
         out.push(L3Out::Fetch {
             fetch: MemFetch {
@@ -386,13 +404,13 @@ impl L3Bank {
         });
     }
 
-    fn on_flush(&mut self, now: Cycle, flush: PimFlush, out: &mut Vec<L3Out>) {
+    fn on_flush(&mut self, now: Cycle, flush: PimFlush, out: &mut Outbox<L3Out>) {
         if let Some(txn) = self.txns.get_mut(&flush.block) {
             txn.deferred.push_back(L3In::Flush(flush));
             return;
         }
         let start = self.port.reserve(now, 1);
-        self.flushes += 1;
+        self.counters.inc(self.c.flushes);
         let Some(line) = self.array.line(flush.block) else {
             // Inclusive hierarchy: absent from L3 means absent everywhere.
             out.push(L3Out::FlushDone {
@@ -408,13 +426,13 @@ impl L3Bank {
         if let Some(owner) = line.owner {
             mask = presence::add(mask, owner);
         }
-        let targets: Vec<_> = presence::iter(mask).collect();
+        let n = presence::count(mask);
         let op = if flush.invalidate {
             RecallOp::Invalidate
         } else {
             RecallOp::Downgrade
         };
-        if targets.is_empty() {
+        if n == 0 {
             self.finish_flush(
                 start + self.lat,
                 flush.id,
@@ -424,7 +442,7 @@ impl L3Bank {
                 out,
             );
         } else {
-            self.recalls += targets.len() as u64;
+            self.counters.add(self.c.recalls, n as u64);
             let line = self.array.line_mut(flush.block).expect("present");
             line.locked = true;
             self.txns.insert(
@@ -435,12 +453,12 @@ impl L3Bank {
                         invalidate: flush.invalidate,
                     },
                     phase: Phase::RecallAcks,
-                    pending_acks: targets.len() as u32,
+                    pending_acks: n,
                     dirty_seen: false,
                     deferred: VecDeque::new(),
                 },
             );
-            for core in targets {
+            for core in presence::iter(mask) {
                 out.push(L3Out::Recall {
                     recall: Recall {
                         core,
@@ -460,7 +478,7 @@ impl L3Bank {
         block: BlockAddr,
         invalidate: bool,
         dirty_seen: bool,
-        out: &mut Vec<L3Out>,
+        out: &mut Outbox<L3Out>,
     ) {
         let dirty = {
             let line = self.array.line_mut(block).expect("flush line present");
@@ -485,7 +503,7 @@ impl L3Bank {
         });
     }
 
-    fn on_ack(&mut self, now: Cycle, ack: RecallAck, out: &mut Vec<L3Out>) {
+    fn on_ack(&mut self, now: Cycle, ack: RecallAck, out: &mut Outbox<L3Out>) {
         // Fill-transaction recalls target the *victim* block, so look up by
         // either the transaction key (grant/flush) or the victim address.
         let key = if self.txns.contains_key(&ack.block) {
@@ -539,7 +557,7 @@ impl L3Bank {
         self.drain_deferred(now, txn.deferred, out);
     }
 
-    fn on_fetch_done(&mut self, now: Cycle, done: MemFetchDone, out: &mut Vec<L3Out>) {
+    fn on_fetch_done(&mut self, now: Cycle, done: MemFetchDone, out: &mut Outbox<L3Out>) {
         let Some(txn) = self.txns.remove(&done.block) else {
             return; // writeback completions carry no transaction
         };
@@ -551,15 +569,21 @@ impl L3Bank {
         self.drain_deferred(now, txn.deferred, out);
     }
 
-    fn drain_deferred(&mut self, now: Cycle, deferred: VecDeque<L3In>, out: &mut Vec<L3Out>) {
+    fn drain_deferred(&mut self, now: Cycle, deferred: VecDeque<L3In>, out: &mut Outbox<L3Out>) {
         for item in deferred {
             self.handle(now, item, out);
         }
         // Transaction slots freed: retry overflowed requests once each.
-        let retry: Vec<_> = self.overflow.drain(..).collect();
-        for item in retry {
+        // The overflow queue is swapped with a reusable scratch so that
+        // requests re-overflowing mid-retry land in a fresh `overflow`
+        // without invalidating this iteration — and without allocating
+        // (the two buffers' capacities just trade places each time).
+        let mut retry = std::mem::take(&mut self.retry_scratch);
+        std::mem::swap(&mut retry, &mut self.overflow);
+        while let Some(item) = retry.pop_front() {
             self.handle(now, item, out);
         }
+        self.retry_scratch = retry;
     }
 
     /// Whether the bank has no in-flight transactions (test helper).
@@ -578,17 +602,15 @@ impl L3Bank {
     /// Total GetS/GetM accesses observed (locality-monitor shadowing and
     /// statistics).
     pub fn accesses(&self) -> u64 {
-        self.accesses
+        self.counters.get(self.c.accesses)
     }
 
     /// Dumps statistics under `prefix`.
     pub fn report(&self, prefix: &str, stats: &mut StatsReport) {
-        stats.bump(format!("{prefix}hits"), self.hits as f64);
-        stats.bump(format!("{prefix}misses"), self.misses as f64);
-        stats.bump(format!("{prefix}evictions"), self.evictions as f64);
-        stats.bump(format!("{prefix}writebacks"), self.writebacks as f64);
-        stats.bump(format!("{prefix}recalls"), self.recalls as f64);
-        stats.bump(format!("{prefix}flushes"), self.flushes as f64);
+        // `accesses` was historically not part of the report (it feeds
+        // the energy model via `accesses()`), so flush the named subset.
+        self.counters
+            .flush_if(prefix, stats, |name| name != "accesses");
     }
 }
 
@@ -632,8 +654,8 @@ mod tests {
     }
 
     /// Runs a request through the miss path to a settled grant.
-    fn warm(bank: &mut L3Bank, input: L3In) -> Vec<L3Out> {
-        let mut out = Vec::new();
+    fn warm(bank: &mut L3Bank, input: L3In) -> Outbox<L3Out> {
+        let mut out = Outbox::new();
         bank.handle(0, input, &mut out);
         if out
             .iter()
@@ -649,7 +671,7 @@ mod tests {
     #[test]
     fn cold_miss_fetches_then_grants_exclusive() {
         let mut b = bank();
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         b.handle(0, gets(1, 0, 4), &mut out);
         assert!(matches!(out[0], L3Out::Fetch { .. }));
         let done = fetch_done_for(&out);
@@ -670,7 +692,7 @@ mod tests {
     fn second_reader_downgrades_owner() {
         let mut b = bank();
         warm(&mut b, gets(1, 0, 4));
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         b.handle(200, gets(2, 1, 4), &mut out);
         // Owner (core 0) gets a downgrade recall.
         match out[0] {
@@ -704,7 +726,7 @@ mod tests {
         let mut b = bank();
         warm(&mut b, gets(1, 0, 4));
         // Second reader: downgrade owner, then grant.
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         b.handle(200, gets(2, 1, 4), &mut out);
         b.handle(
             210,
@@ -753,7 +775,7 @@ mod tests {
     #[test]
     fn same_block_requests_serialize() {
         let mut b = bank();
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         b.handle(0, gets(1, 0, 4), &mut out);
         let done = fetch_done_for(&out);
         // Second request arrives mid-fill: must be deferred, not re-fetched.
@@ -776,7 +798,7 @@ mod tests {
     fn put_m_marks_dirty_and_clears_presence() {
         let mut b = bank();
         warm(&mut b, getm(1, 0, 4));
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         b.handle(
             200,
             L3In::Req(L3Req {
@@ -794,7 +816,7 @@ mod tests {
     #[test]
     fn flush_absent_block_completes_immediately() {
         let mut b = bank();
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         b.handle(
             0,
             L3In::Flush(PimFlush {
@@ -817,7 +839,7 @@ mod tests {
     fn flush_invalidate_recalls_owner_and_writes_back() {
         let mut b = bank();
         warm(&mut b, getm(1, 0, 4));
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         b.handle(
             200,
             L3In::Flush(PimFlush {
@@ -852,7 +874,7 @@ mod tests {
     fn flush_writeback_keeps_clean_copies() {
         let mut b = bank();
         warm(&mut b, getm(1, 0, 4));
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         b.handle(
             200,
             L3In::Flush(PimFlush {
@@ -896,7 +918,7 @@ mod tests {
         warm(&mut b, gets(1, 0, 0));
         warm(&mut b, gets(2, 0, 1));
         // Third block forces eviction of LRU block 0, held by core 0.
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         b.handle(500, gets(3, 1, 2), &mut out);
         assert!(
             out.iter().any(|o| matches!(o, L3Out::Recall { recall, .. }

@@ -12,7 +12,8 @@ use crate::cache::{CacheArray, LineState};
 use crate::config::MemHierarchyConfig;
 use crate::msg::{CoreReq, L3Req, L3ReqKind, L3Resp, Recall, RecallAck, RecallOp};
 use crate::mshr::MshrFile;
-use pei_engine::{Occupancy, StatsReport};
+use crate::mshr::Waiter;
+use pei_engine::{CounterId, Counters, Occupancy, Outbox, StatsReport};
 use pei_types::{BlockAddr, CoreId, Cycle};
 use std::collections::VecDeque;
 
@@ -54,7 +55,7 @@ pub enum PrivOut {
 ///
 /// let cfg = MemHierarchyConfig::scaled();
 /// let mut cache = PrivateCache::new(CoreId(0), &cfg);
-/// let mut out = Vec::new();
+/// let mut out = pei_engine::Outbox::new();
 /// cache.handle_core_req(0, CoreReq { id: ReqId(1), addr: Addr(0x40), write: false }, &mut out);
 /// // Cold miss: the request goes to the L3.
 /// assert!(matches!(out[0], pei_mem::private::PrivOut::ToL3 { .. }));
@@ -69,19 +70,42 @@ pub struct PrivateCache {
     mshr: MshrFile,
     stall_q: VecDeque<CoreReq>,
     port: Occupancy,
-    // statistics
-    l1_hits: u64,
-    l1_misses: u64,
-    l2_hits: u64,
-    l2_misses: u64,
-    writebacks: u64,
-    recalls_seen: u64,
-    upgrades: u64,
+    counters: Counters,
+    c: PrivCounters,
+}
+
+/// Dense counter slots registered at construction (hot-path bumps are
+/// indexed adds; names materialize only in [`PrivateCache::report`]).
+#[derive(Debug, Clone, Copy)]
+struct PrivCounters {
+    l1_hits: CounterId,
+    l1_misses: CounterId,
+    l2_hits: CounterId,
+    l2_misses: CounterId,
+    writebacks: CounterId,
+    recalls_seen: CounterId,
+    upgrades: CounterId,
+}
+
+impl PrivCounters {
+    fn register(counters: &mut Counters) -> Self {
+        PrivCounters {
+            l1_hits: counters.register("l1.hits"),
+            l1_misses: counters.register("l1.misses"),
+            l2_hits: counters.register("l2.hits"),
+            l2_misses: counters.register("l2.misses"),
+            writebacks: counters.register("l2.writebacks"),
+            recalls_seen: counters.register("l2.recalls"),
+            upgrades: counters.register("l2.upgrades"),
+        }
+    }
 }
 
 impl PrivateCache {
     /// Creates the private hierarchy for `core` per `cfg`.
     pub fn new(core: CoreId, cfg: &MemHierarchyConfig) -> Self {
+        let mut counters = Counters::new();
+        let c = PrivCounters::register(&mut counters);
         PrivateCache {
             core,
             l1: CacheArray::with_capacity(cfg.l1.capacity, cfg.l1.ways),
@@ -91,13 +115,8 @@ impl PrivateCache {
             mshr: MshrFile::new(cfg.priv_mshrs),
             stall_q: VecDeque::new(),
             port: Occupancy::new(),
-            l1_hits: 0,
-            l1_misses: 0,
-            l2_hits: 0,
-            l2_misses: 0,
-            writebacks: 0,
-            recalls_seen: 0,
-            upgrades: 0,
+            counters,
+            c,
         }
     }
 
@@ -107,12 +126,12 @@ impl PrivateCache {
     }
 
     /// Handles a memory request from the core or its host-side PCU.
-    pub fn handle_core_req(&mut self, now: Cycle, req: CoreReq, out: &mut Vec<PrivOut>) {
+    pub fn handle_core_req(&mut self, now: Cycle, req: CoreReq, out: &mut Outbox<PrivOut>) {
         let start = self.port.reserve(now, 1);
         self.access(start, req, out);
     }
 
-    fn access(&mut self, start: Cycle, req: CoreReq, out: &mut Vec<PrivOut>) {
+    fn access(&mut self, start: Cycle, req: CoreReq, out: &mut Outbox<PrivOut>) {
         let block = req.addr.block();
         let in_l1 = self.l1.lookup(block).is_some();
         let l2_state = self.l2.line(block).map(|l| l.state);
@@ -129,11 +148,11 @@ impl PrivateCache {
                     }
                 }
                 let lat = if in_l1 {
-                    self.l1_hits += 1;
+                    self.counters.inc(self.c.l1_hits);
                     self.l1_lat
                 } else {
-                    self.l1_misses += 1;
-                    self.l2_hits += 1;
+                    self.counters.inc(self.c.l1_misses);
+                    self.counters.inc(self.c.l2_hits);
                     self.fill_l1(block);
                     self.l2_lat
                 };
@@ -146,13 +165,13 @@ impl PrivateCache {
             }
             Some(_) => {
                 // Present but Shared and a write was requested: upgrade.
-                self.l1_misses += 1;
-                self.upgrades += 1;
+                self.counters.inc(self.c.l1_misses);
+                self.counters.inc(self.c.upgrades);
                 self.miss(start, req, L3ReqKind::GetM, out);
             }
             None => {
-                self.l1_misses += 1;
-                self.l2_misses += 1;
+                self.counters.inc(self.c.l1_misses);
+                self.counters.inc(self.c.l2_misses);
                 let kind = if req.write {
                     L3ReqKind::GetM
                 } else {
@@ -163,7 +182,7 @@ impl PrivateCache {
         }
     }
 
-    fn miss(&mut self, start: Cycle, req: CoreReq, kind: L3ReqKind, out: &mut Vec<PrivOut>) {
+    fn miss(&mut self, start: Cycle, req: CoreReq, kind: L3ReqKind, out: &mut Outbox<PrivOut>) {
         let block = req.addr.block();
         if self.mshr.contains(block) {
             self.mshr.merge(block, req.id, req.write);
@@ -197,7 +216,7 @@ impl PrivateCache {
     }
 
     /// Handles a fill/grant from the L3.
-    pub fn handle_l3_resp(&mut self, now: Cycle, resp: L3Resp, out: &mut Vec<PrivOut>) {
+    pub fn handle_l3_resp(&mut self, now: Cycle, resp: L3Resp, out: &mut Outbox<PrivOut>) {
         let entry = self
             .mshr
             .retire(resp.block)
@@ -215,7 +234,8 @@ impl PrivateCache {
             line.dirty = line.dirty || granted == LineState::Modified;
         } else if let Some(victim) = self.l2.insert(resp.block, granted) {
             self.l1.invalidate(victim.block);
-            self.writebacks += u64::from(victim.dirty);
+            self.counters
+                .add(self.c.writebacks, u64::from(victim.dirty));
             out.push(PrivOut::ToL3 {
                 req: L3Req {
                     id: pei_types::ReqId(0),
@@ -236,10 +256,18 @@ impl PrivateCache {
 
         // Answer the merged waiters. If the grant was read-only but a
         // writer was merged after the GetS left, re-request exclusivity.
-        let mut reissue_writers = Vec::new();
+        // Single pass, no staging buffer: the first unsatisfied writer
+        // re-allocates the MSHR entry, later ones merge into it.
+        let mut first_reissue: Option<Waiter> = None;
         for w in &entry.waiters {
             if w.write && !granted.writable() {
-                reissue_writers.push(*w);
+                if first_reissue.is_none() {
+                    self.counters.inc(self.c.upgrades);
+                    self.mshr.alloc(resp.block, L3ReqKind::GetM, w.id, true);
+                    first_reissue = Some(*w);
+                } else {
+                    self.mshr.merge(resp.block, w.id, w.write);
+                }
             } else {
                 if w.write {
                     let line = self.l2.line_mut(resp.block).expect("just installed");
@@ -255,12 +283,7 @@ impl PrivateCache {
                 });
             }
         }
-        if let Some(first) = reissue_writers.first().copied() {
-            self.upgrades += 1;
-            self.mshr.alloc(resp.block, L3ReqKind::GetM, first.id, true);
-            for w in &reissue_writers[1..] {
-                self.mshr.merge(resp.block, w.id, w.write);
-            }
+        if let Some(first) = first_reissue {
             out.push(PrivOut::ToL3 {
                 req: L3Req {
                     id: first.id,
@@ -285,8 +308,8 @@ impl PrivateCache {
     }
 
     /// Handles a coherence recall (invalidate/downgrade) from the L3.
-    pub fn handle_recall(&mut self, now: Cycle, recall: Recall, out: &mut Vec<PrivOut>) {
-        self.recalls_seen += 1;
+    pub fn handle_recall(&mut self, now: Cycle, recall: Recall, out: &mut Outbox<PrivOut>) {
+        self.counters.inc(self.c.recalls_seen);
         let start = self.port.reserve(now, 1);
         let (dirty, was_present) = match self.l2.line_mut(recall.block) {
             Some(line) => {
@@ -337,13 +360,7 @@ impl PrivateCache {
 
     /// Dumps statistics under `prefix` (e.g. `core0.`).
     pub fn report(&self, prefix: &str, stats: &mut StatsReport) {
-        stats.bump(format!("{prefix}l1.hits"), self.l1_hits as f64);
-        stats.bump(format!("{prefix}l1.misses"), self.l1_misses as f64);
-        stats.bump(format!("{prefix}l2.hits"), self.l2_hits as f64);
-        stats.bump(format!("{prefix}l2.misses"), self.l2_misses as f64);
-        stats.bump(format!("{prefix}l2.writebacks"), self.writebacks as f64);
-        stats.bump(format!("{prefix}l2.recalls"), self.recalls_seen as f64);
-        stats.bump(format!("{prefix}l2.upgrades"), self.upgrades as f64);
+        self.counters.flush(prefix, stats);
         stats.bump(format!("{prefix}l2.mshr_merges"), self.mshr.merges() as f64);
     }
 }
@@ -374,7 +391,7 @@ mod tests {
         }
     }
 
-    fn grant(c: &mut PrivateCache, id: u64, block: u64, g: Grant, out: &mut Vec<PrivOut>) {
+    fn grant(c: &mut PrivateCache, id: u64, block: u64, g: Grant, out: &mut Outbox<PrivOut>) {
         c.handle_l3_resp(
             100,
             L3Resp {
@@ -390,7 +407,7 @@ mod tests {
     #[test]
     fn cold_miss_then_hit() {
         let mut c = cache();
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         c.handle_core_req(0, read(1, 0x40), &mut out);
         assert!(matches!(
             out[0],
@@ -418,7 +435,7 @@ mod tests {
     #[test]
     fn same_block_misses_merge() {
         let mut c = cache();
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         c.handle_core_req(0, read(1, 0x40), &mut out);
         c.handle_core_req(0, read(2, 0x48), &mut out);
         // Only one L3 request for the shared block.
@@ -439,7 +456,7 @@ mod tests {
     #[test]
     fn write_on_shared_upgrades() {
         let mut c = cache();
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         c.handle_core_req(0, read(1, 0x40), &mut out);
         out.clear();
         grant(&mut c, 1, 1, Grant::Shared, &mut out);
@@ -464,7 +481,7 @@ mod tests {
     #[test]
     fn silent_e_to_m_upgrade_has_no_traffic() {
         let mut c = cache();
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         c.handle_core_req(0, read(1, 0x40), &mut out);
         out.clear();
         grant(&mut c, 1, 1, Grant::Exclusive, &mut out);
@@ -478,7 +495,7 @@ mod tests {
     #[test]
     fn recall_invalidate_reports_dirty() {
         let mut c = cache();
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         c.handle_core_req(0, write(1, 0x40), &mut out);
         out.clear();
         grant(&mut c, 1, 1, Grant::Modified, &mut out);
@@ -505,7 +522,7 @@ mod tests {
     #[test]
     fn recall_downgrade_keeps_shared_copy() {
         let mut c = cache();
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         c.handle_core_req(0, write(1, 0x40), &mut out);
         out.clear();
         grant(&mut c, 1, 1, Grant::Modified, &mut out);
@@ -529,7 +546,7 @@ mod tests {
     #[test]
     fn recall_for_absent_block_acks_not_present() {
         let mut c = cache();
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         c.handle_recall(
             0,
             Recall {
@@ -557,7 +574,7 @@ mod tests {
             ..MemHierarchyConfig::scaled()
         };
         let mut c = PrivateCache::new(CoreId(0), &cfg);
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         // Dirty block 0 (set 0), then fill block 2 (also set 0): must evict.
         c.handle_core_req(0, write(1, 0x00), &mut out);
         out.clear();
@@ -590,7 +607,7 @@ mod tests {
             ..MemHierarchyConfig::scaled()
         };
         let mut c = PrivateCache::new(CoreId(0), &cfg);
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         c.handle_core_req(0, read(1, 0x40), &mut out);
         c.handle_core_req(0, read(2, 0x80), &mut out); // stalls: MSHR full
         let to_l3 = out
@@ -616,7 +633,7 @@ mod tests {
     #[test]
     fn late_write_waiter_triggers_reissue() {
         let mut c = cache();
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         c.handle_core_req(0, read(1, 0x40), &mut out); // GetS leaves
         c.handle_core_req(0, write(2, 0x48), &mut out); // merges with write intent
         out.clear();
@@ -645,7 +662,7 @@ mod tests {
     #[test]
     fn report_contains_hit_counters() {
         let mut c = cache();
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         c.handle_core_req(0, read(1, 0x40), &mut out);
         let mut s = StatsReport::new();
         c.report("core0.", &mut s);

@@ -13,7 +13,7 @@ use pei_core::{HostPcu, HostPcuOut, MemPcu, MemPcuOut, Pmu, PmuIn, PmuOut};
 use pei_cpu::core::{Core, CoreEvent, CoreStatus};
 use pei_cpu::trace::PhasedTrace;
 use pei_cpu::CoreOut;
-use pei_engine::{EventQueue, StatsReport};
+use pei_engine::{EventQueue, Outbox, StatsReport};
 use pei_hmc::ctrl::MemSideIn;
 use pei_hmc::{CtrlIn, CtrlOut, HmcController, Vault, VaultIn, VaultOut};
 use pei_mem::l3::{L3In, L3Out};
@@ -107,6 +107,18 @@ pub struct System {
     groups: Vec<Group>,
     core_group: Vec<Option<usize>>,
     finish_time: Cycle,
+    // Reusable per-component outboxes: taken (std::mem::take) around each
+    // handler call and put back after routing, so the steady-state event
+    // loop allocates nothing. route_* methods only schedule events and
+    // never re-enter handlers, which makes the take/put pattern safe.
+    ob_core: Outbox<CoreOut>,
+    ob_priv: Outbox<PrivOut>,
+    ob_l3: Outbox<L3Out>,
+    ob_ctrl: Outbox<CtrlOut>,
+    ob_vault: Outbox<VaultOut>,
+    ob_mpcu: Outbox<MemPcuOut>,
+    ob_pmu: Outbox<PmuOut>,
+    ob_hpcu: Outbox<HostPcuOut>,
 }
 
 // Parallel experiment runners move whole `System`s (including their
@@ -167,6 +179,14 @@ impl System {
             groups: Vec::new(),
             core_group: vec![None; n],
             finish_time: 0,
+            ob_core: Outbox::new(),
+            ob_priv: Outbox::new(),
+            ob_l3: Outbox::new(),
+            ob_ctrl: Outbox::new(),
+            ob_vault: Outbox::new(),
+            ob_mpcu: Outbox::new(),
+            ob_pmu: Outbox::new(),
+            ob_hpcu: Outbox::new(),
             cfg,
         }
     }
@@ -348,6 +368,30 @@ impl System {
                 s.push_str(&format!("priv{i} has {} misses; ", p.inflight_misses()));
             }
         }
+        for (b, bank) in self.l3banks.iter().enumerate() {
+            if !bank.is_quiescent() {
+                s.push_str(&format!("l3 bank{b} has in-flight state; "));
+            }
+        }
+        for (v, vault) in self.vaults.iter().enumerate() {
+            if vault.backlog() > 0 {
+                s.push_str(&format!(
+                    "vault{v} has {} queued accesses; ",
+                    vault.backlog()
+                ));
+            }
+        }
+        for (v, pcu) in self.mem_pcus.iter().enumerate() {
+            if pcu.backlog() > 0 {
+                s.push_str(&format!("mem-pcu{v} has {} commands; ", pcu.backlog()));
+            }
+        }
+        if self.ctrl.pending_reads() > 0 {
+            s.push_str(&format!(
+                "link controller has {} reads in flight; ",
+                self.ctrl.pending_reads()
+            ));
+        }
         if self.pmu.in_flight() > 0 {
             s.push_str(&format!("pmu has {} PEIs; ", self.pmu.in_flight()));
         }
@@ -378,19 +422,22 @@ impl System {
                 }
             }
             Ev::PrivCoreReq(i, req) => {
-                let mut outs = Vec::new();
+                let mut outs = std::mem::take(&mut self.ob_priv);
                 self.privs[i].handle_core_req(now, req, &mut outs);
-                self.route_priv(i, outs);
+                self.route_priv(i, &mut outs);
+                self.ob_priv = outs;
             }
             Ev::PrivL3Resp(i, resp) => {
-                let mut outs = Vec::new();
+                let mut outs = std::mem::take(&mut self.ob_priv);
                 self.privs[i].handle_l3_resp(now, resp, &mut outs);
-                self.route_priv(i, outs);
+                self.route_priv(i, &mut outs);
+                self.ob_priv = outs;
             }
             Ev::PrivRecall(i, recall) => {
-                let mut outs = Vec::new();
+                let mut outs = std::mem::take(&mut self.ob_priv);
                 self.privs[i].handle_recall(now, recall, &mut outs);
-                self.route_priv(i, outs);
+                self.route_priv(i, &mut outs);
+                self.ob_priv = outs;
             }
             Ev::L3(b, input) => {
                 if let L3In::Req(req) = &input {
@@ -398,72 +445,85 @@ impl System {
                         self.pmu.on_l3_access(req.block);
                     }
                 }
-                let mut outs = Vec::new();
+                let mut outs = std::mem::take(&mut self.ob_l3);
                 self.l3banks[b].handle(now, input, &mut outs);
-                self.route_l3(b, outs);
+                self.route_l3(b, &mut outs);
+                self.ob_l3 = outs;
             }
             Ev::CtrlHost(input) => {
-                let mut outs = Vec::new();
+                let mut outs = std::mem::take(&mut self.ob_ctrl);
                 self.ctrl.handle_host(now, input, &mut outs);
-                self.route_ctrl(outs);
+                self.route_ctrl(&mut outs);
+                self.ob_ctrl = outs;
             }
             Ev::CtrlMem(input) => {
-                let mut outs = Vec::new();
+                let mut outs = std::mem::take(&mut self.ob_ctrl);
                 self.ctrl.handle_mem_side(now, input, &mut outs);
-                self.route_ctrl(outs);
+                self.route_ctrl(&mut outs);
+                self.ob_ctrl = outs;
             }
             Ev::VaultAcc(v, acc) => {
-                let mut outs = Vec::new();
+                let mut outs = std::mem::take(&mut self.ob_vault);
                 self.vaults[v].handle_access(now, acc, &mut outs);
-                self.route_vault(v, outs);
+                self.route_vault(v, &mut outs);
+                self.ob_vault = outs;
             }
             Ev::VaultWake(v) => {
-                let mut outs = Vec::new();
+                let mut outs = std::mem::take(&mut self.ob_vault);
                 self.vaults[v].wake(now, &mut outs);
-                self.route_vault(v, outs);
+                self.route_vault(v, &mut outs);
+                self.ob_vault = outs;
             }
             Ev::MemPcuCmd(v, cmd) => {
-                let mut outs = Vec::new();
+                let mut outs = std::mem::take(&mut self.ob_mpcu);
                 self.mem_pcus[v].on_cmd(now, cmd, &mut outs);
-                self.route_mem_pcu(v, outs);
+                self.route_mem_pcu(v, &mut outs);
+                self.ob_mpcu = outs;
             }
             Ev::MemPcuVaultDone(v, id, write) => {
-                let mut outs = Vec::new();
+                let mut outs = std::mem::take(&mut self.ob_mpcu);
                 self.mem_pcus[v].on_vault_done(now, id, write, &mut self.store, &mut outs);
-                self.route_mem_pcu(v, outs);
+                self.route_mem_pcu(v, &mut outs);
+                self.ob_mpcu = outs;
             }
             Ev::Pmu(input) => {
                 let balance = self.ctrl.balance(now);
-                let mut outs = Vec::new();
+                let mut outs = std::mem::take(&mut self.ob_pmu);
                 self.pmu.handle(now, input, balance, &mut outs);
-                self.route_pmu(outs);
+                self.route_pmu(&mut outs);
+                self.ob_pmu = outs;
             }
             Ev::HostPcuDecision(c, id) => {
-                let mut outs = Vec::new();
+                let mut outs = std::mem::take(&mut self.ob_hpcu);
                 self.host_pcus[c].on_decision_host(now, id, &mut outs);
-                self.route_host_pcu(c, outs);
+                self.route_host_pcu(c, &mut outs);
+                self.ob_hpcu = outs;
             }
             Ev::HostPcuDispatchedMem(c, id) => {
-                let mut outs = Vec::new();
+                let mut outs = std::mem::take(&mut self.ob_hpcu);
                 self.host_pcus[c].on_dispatched_mem(now, id, &mut outs);
-                self.route_host_pcu(c, outs);
+                self.route_host_pcu(c, &mut outs);
+                self.ob_hpcu = outs;
             }
             Ev::HostPcuL1Resp(c, id) => {
-                let mut outs = Vec::new();
+                let mut outs = std::mem::take(&mut self.ob_hpcu);
                 self.host_pcus[c].on_l1_resp(now, id, &mut self.store, &mut outs);
-                self.route_host_pcu(c, outs);
+                self.route_host_pcu(c, &mut outs);
+                self.ob_hpcu = outs;
             }
             Ev::HostPcuMemResult(c, id, output) => {
-                let mut outs = Vec::new();
+                let mut outs = std::mem::take(&mut self.ob_hpcu);
                 self.host_pcus[c].on_mem_result(now, id, output, &mut outs);
-                self.route_host_pcu(c, outs);
+                self.route_host_pcu(c, &mut outs);
+                self.ob_hpcu = outs;
             }
         }
     }
 
     fn core_tick(&mut self, i: usize, now: Cycle) {
-        let outcome = self.cores[i].tick(now);
-        for out in outcome.outs {
+        let mut core_outs = std::mem::take(&mut self.ob_core);
+        let outcome = self.cores[i].tick(now, &mut core_outs);
+        for out in core_outs.drain() {
             match out {
                 CoreOut::Mem { id, addr, write } => {
                     self.queue
@@ -475,9 +535,10 @@ impl System {
                     target,
                     input,
                 } => {
-                    let mut outs = Vec::new();
+                    let mut outs = std::mem::take(&mut self.ob_hpcu);
                     self.host_pcus[i].begin(now, seq, op, target, input, &mut outs);
-                    self.route_host_pcu(i, outs);
+                    self.route_host_pcu(i, &mut outs);
+                    self.ob_hpcu = outs;
                 }
                 CoreOut::PfenceReq => {
                     let at = self.xbar.send(self.port_priv(i), now, XbarPayload::Control);
@@ -490,6 +551,7 @@ impl System {
                 }
             }
         }
+        self.ob_core = core_outs;
         match outcome.status {
             CoreStatus::Running => {
                 let next = outcome.next.expect("running core has a next tick");
@@ -511,8 +573,8 @@ impl System {
         }
     }
 
-    fn route_priv(&mut self, i: usize, outs: Vec<PrivOut>) {
-        for out in outs {
+    fn route_priv(&mut self, i: usize, outs: &mut Outbox<PrivOut>) {
+        for out in outs.drain() {
             match out {
                 PrivOut::CoreResp { id, at } => match id.namespace() {
                     ns::CORE => self.queue.schedule(at, Ev::CoreMemDone(i, id)),
@@ -543,8 +605,8 @@ impl System {
         }
     }
 
-    fn route_l3(&mut self, b: usize, outs: Vec<L3Out>) {
-        for out in outs {
+    fn route_l3(&mut self, b: usize, outs: &mut Outbox<L3Out>) {
+        for out in outs.drain() {
             match out {
                 L3Out::Resp { resp, at } => {
                     let delivered = self.xbar.send(self.port_l3(b), at, XbarPayload::Data);
@@ -576,9 +638,9 @@ impl System {
         }
     }
 
-    fn route_ctrl(&mut self, outs: Vec<CtrlOut>) {
+    fn route_ctrl(&mut self, outs: &mut Outbox<CtrlOut>) {
         let vpc = self.cfg.hmc.vaults_per_cube;
-        for out in outs {
+        for out in outs.drain() {
             match out {
                 CtrlOut::ToVault { loc, access, at } => {
                     self.queue
@@ -608,9 +670,9 @@ impl System {
         }
     }
 
-    fn route_vault(&mut self, v: usize, outs: Vec<VaultOut>) {
+    fn route_vault(&mut self, v: usize, outs: &mut Outbox<VaultOut>) {
         let vpc = self.cfg.hmc.vaults_per_cube;
-        for out in outs {
+        for out in outs.drain() {
             match out {
                 VaultOut::Done {
                     id,
@@ -639,9 +701,9 @@ impl System {
         }
     }
 
-    fn route_mem_pcu(&mut self, v: usize, outs: Vec<MemPcuOut>) {
+    fn route_mem_pcu(&mut self, v: usize, outs: &mut Outbox<MemPcuOut>) {
         let vpc = self.cfg.hmc.vaults_per_cube;
-        for out in outs {
+        for out in outs.drain() {
             match out {
                 MemPcuOut::VaultAccess {
                     id,
@@ -665,8 +727,8 @@ impl System {
         }
     }
 
-    fn route_pmu(&mut self, outs: Vec<PmuOut>) {
-        for out in outs {
+    fn route_pmu(&mut self, outs: &mut Outbox<PmuOut>) {
+        for out in outs.drain() {
             match out {
                 PmuOut::DecideHost { id, core, at } => {
                     let delivered = self.xbar.send(self.port_pmu(), at, XbarPayload::Control);
@@ -712,8 +774,8 @@ impl System {
         }
     }
 
-    fn route_host_pcu(&mut self, c: usize, outs: Vec<HostPcuOut>) {
-        for out in outs {
+    fn route_host_pcu(&mut self, c: usize, outs: &mut Outbox<HostPcuOut>) {
+        for out in outs.drain() {
             match out {
                 HostPcuOut::ToPmu {
                     id,
@@ -841,5 +903,61 @@ impl std::fmt::Debug for System {
             .field("vaults", &self.vaults.len())
             .field("policy", &self.cfg.policy)
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pei_core::DispatchPolicy;
+
+    #[test]
+    fn diagnose_names_a_stuck_vault() {
+        let cfg = MachineConfig::scaled(DispatchPolicy::LocalityAware);
+        let mut sys = System::new(cfg, BackingStore::new());
+        // Two same-bank accesses in the same cycle: the first occupies the
+        // bank, the second stays queued — a synthetic stall as seen at
+        // deadlock time.
+        let mut out = Outbox::new();
+        for i in 0..2 {
+            sys.vaults[0].handle_access(
+                0,
+                VaultIn {
+                    id: ReqId(i),
+                    block: BlockAddr(0),
+                    write: false,
+                },
+                &mut out,
+            );
+        }
+        let diag = sys.diagnose();
+        assert!(
+            diag.contains("vault0"),
+            "diagnose must name the stuck vault: {diag}"
+        );
+        assert!(
+            !diag.contains("vault1"),
+            "idle vaults must stay out of the report: {diag}"
+        );
+    }
+
+    #[test]
+    fn diagnose_names_the_link_controller() {
+        let cfg = MachineConfig::scaled(DispatchPolicy::LocalityAware);
+        let mut sys = System::new(cfg, BackingStore::new());
+        let mut out = Outbox::new();
+        sys.ctrl.handle_host(
+            0,
+            CtrlIn::Read {
+                id: ReqId(1),
+                block: BlockAddr(0),
+            },
+            &mut out,
+        );
+        let diag = sys.diagnose();
+        assert!(
+            diag.contains("link controller has 1 reads in flight"),
+            "diagnose must expose the off-chip read window: {diag}"
+        );
     }
 }

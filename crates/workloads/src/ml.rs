@@ -320,7 +320,7 @@ mod tests {
             }
         }
         // The PIM op applied to the store must equal the reference.
-        let mut sim_store = store.clone();
+        let mut sim_store = store;
         let out = pei_core::ops::apply(
             PimOpKind::EuclideanDist,
             sc.points_base,
@@ -335,7 +335,7 @@ mod tests {
     fn svm_dot_products_match_reference_through_the_pim_op() {
         let params = WorkloadParams::quick_test(1);
         let (svm, store) = SvmRfe::new(2 * 1024, 16, &params);
-        let mut sim_store = store.clone();
+        let mut sim_store = store;
         let blocks = svm.dims / 4;
         for i in 0..svm.n_instances().min(10) {
             let mut total = 0.0;
