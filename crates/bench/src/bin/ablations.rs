@@ -13,7 +13,7 @@
 //! ```
 
 use pei_bench::runner::{Batch, RunSpec};
-use pei_bench::{print_cols, print_row, print_title, ExpOptions};
+use pei_bench::{print_cols, print_row, print_title, write_trace_if_requested, ExpOptions};
 use pei_core::DispatchPolicy;
 use pei_workloads::{InputSize, Workload};
 
@@ -169,4 +169,10 @@ fn main() {
         let (real, ideal) = (&results[*real], &results[*ideal]);
         print_row(w.label(), &[1.0, real.cycles as f64 / ideal.cycles as f64]);
     }
+    write_trace_if_requested(
+        &opts,
+        Workload::Pr,
+        InputSize::Large,
+        DispatchPolicy::LocalityAware,
+    );
 }

@@ -11,7 +11,7 @@
 //! ```
 
 use pei_bench::runner::{Batch, RunSpec};
-use pei_bench::{print_cols, print_row, print_title, ExpOptions};
+use pei_bench::{print_cols, print_row, print_title, write_trace_if_requested, ExpOptions};
 use pei_core::DispatchPolicy;
 use pei_workloads::{InputSize, Workload};
 
@@ -59,4 +59,10 @@ fn main() {
         );
     }
     println!("\nla+bd > loc-aware indicates balanced dispatch paying off (§7.4)");
+    write_trace_if_requested(
+        &opts,
+        Workload::Sc,
+        InputSize::Large,
+        DispatchPolicy::LocalityAwareBalanced,
+    );
 }

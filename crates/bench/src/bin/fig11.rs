@@ -11,7 +11,9 @@
 //! ```
 
 use pei_bench::runner::{Batch, RunSpec};
-use pei_bench::{geomean, print_cols, print_row, print_title, ExpOptions};
+use pei_bench::{
+    geomean, print_cols, print_row, print_title, write_trace_if_requested, ExpOptions,
+};
 use pei_core::DispatchPolicy;
 use pei_workloads::{InputSize, Workload};
 
@@ -81,4 +83,10 @@ fn main() {
         print_row(w.label(), &row);
     }
     print_row("GM", &per_w.iter().map(|v| geomean(v)).collect::<Vec<_>>());
+    write_trace_if_requested(
+        &opts,
+        Workload::Pr,
+        InputSize::Medium,
+        DispatchPolicy::LocalityAware,
+    );
 }

@@ -12,7 +12,9 @@
 //! ```
 
 use pei_bench::runner::{Batch, RunSpec};
-use pei_bench::{geomean, print_cols, print_row, print_title, ExpOptions};
+use pei_bench::{
+    geomean, print_cols, print_row, print_title, write_trace_if_requested, ExpOptions,
+};
 use pei_core::DispatchPolicy;
 use pei_system::RunResult;
 use pei_workloads::{InputSize, Workload};
@@ -80,4 +82,10 @@ fn main() {
         );
     }
     println!("\nmpcu/hmc% = memory-side PCU share of HMC energy under PIM-Only (§7.7: ~1.4%)");
+    write_trace_if_requested(
+        &opts,
+        Workload::Atf,
+        InputSize::Large,
+        DispatchPolicy::LocalityAware,
+    );
 }

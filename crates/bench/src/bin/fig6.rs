@@ -11,7 +11,9 @@
 //! ```
 
 use pei_bench::runner::{Batch, RunSpec};
-use pei_bench::{geomean, print_cols, print_row, print_title, ExpOptions};
+use pei_bench::{
+    geomean, print_cols, print_row, print_title, write_trace_if_requested, ExpOptions,
+};
 use pei_core::DispatchPolicy;
 use pei_workloads::{InputSize, Workload};
 
@@ -61,4 +63,10 @@ fn main() {
             ],
         );
     }
+    write_trace_if_requested(
+        &opts,
+        Workload::Atf,
+        InputSize::Medium,
+        DispatchPolicy::LocalityAware,
+    );
 }

@@ -10,7 +10,7 @@
 //! ```
 
 use pei_bench::runner::{Batch, RunSpec};
-use pei_bench::{print_cols, print_row, print_title, ExpOptions};
+use pei_bench::{print_cols, print_row, print_title, write_trace_if_requested, ExpOptions};
 use pei_core::DispatchPolicy;
 use pei_workloads::{InputSize, Workload};
 
@@ -47,4 +47,10 @@ fn main() {
             );
         }
     }
+    write_trace_if_requested(
+        &opts,
+        Workload::Sc,
+        InputSize::Small,
+        DispatchPolicy::PimOnly,
+    );
 }

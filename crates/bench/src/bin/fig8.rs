@@ -11,9 +11,11 @@
 //! ```
 
 use pei_bench::runner::{Batch, RunSpec};
-use pei_bench::{nine_graphs, print_cols, print_row, print_title, ExpOptions};
+use pei_bench::{
+    nine_graphs, print_cols, print_row, print_title, write_trace_if_requested, ExpOptions,
+};
 use pei_core::DispatchPolicy;
-use pei_workloads::Workload;
+use pei_workloads::{InputSize, Workload};
 
 fn main() {
     let opts = ExpOptions::from_args();
@@ -58,4 +60,10 @@ fn main() {
             ],
         );
     }
+    write_trace_if_requested(
+        &opts,
+        Workload::Pr,
+        InputSize::Medium,
+        DispatchPolicy::LocalityAware,
+    );
 }

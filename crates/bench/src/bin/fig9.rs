@@ -11,7 +11,7 @@
 //! ```
 
 use pei_bench::runner::{Batch, RunSpec};
-use pei_bench::{print_cols, print_row, print_title, ExpOptions, Scale};
+use pei_bench::{print_cols, print_row, print_title, write_trace_if_requested, ExpOptions, Scale};
 use pei_core::DispatchPolicy;
 use pei_engine::SimRng;
 use pei_workloads::{InputSize, Workload, WorkloadParams};
@@ -96,5 +96,13 @@ fn main() {
     }
     println!(
         "\nLocality-Aware >= Host-Only in {la_beats_host}/{mixes} mixes; >= both baselines in {la_beats_both}/{mixes}"
+    );
+    // Mix cells carry no replayable recipe; trace a representative
+    // single-workload cell instead.
+    write_trace_if_requested(
+        &opts,
+        Workload::Hj,
+        InputSize::Medium,
+        DispatchPolicy::LocalityAware,
     );
 }

@@ -11,7 +11,9 @@
 //! ```
 
 use pei_bench::runner::{Batch, RunSpec};
-use pei_bench::{geomean, print_cols, print_row, print_title, ExpOptions};
+use pei_bench::{
+    geomean, print_cols, print_row, print_title, write_trace_if_requested, ExpOptions,
+};
 use pei_core::DispatchPolicy;
 use pei_workloads::{InputSize, Workload};
 
@@ -58,4 +60,10 @@ fn main() {
     }
     print_row("GM", &[geomean(&d), geomean(&m), geomean(&b)]);
     println!("\nvalues ≈ 1.00 mean the real PMU structures cost almost nothing (§7.6)");
+    write_trace_if_requested(
+        &opts,
+        Workload::Bfs,
+        InputSize::Medium,
+        DispatchPolicy::LocalityAware,
+    );
 }

@@ -8,19 +8,29 @@
 //!
 //! ```text
 //! cargo run -p pei-bench --release --bin sim_throughput -- \
-//!     [--scale quick|full] [--seed <n>] [--repeat <n>] [--label <s>] [--out <path>] [--append]
+//!     [--scale quick|full] [--seed <n>] [--repeat <n>] [--label <s>] [--out <path>] \
+//!     [--append] [--traced]
 //! ```
 //!
 //! Runs are strictly serial (`jobs` is fixed at 1) so wall-clock time
 //! divides cleanly into per-run throughput. With `--append`, the new
 //! record is spliced into the existing JSON array at `--out` instead of
 //! replacing it, so the checked-in file accumulates a history.
+//!
+//! `--traced` attaches a [`pei_trace::NullSink`] to every measured run:
+//! the simulator takes the full per-event capture path (interning
+//! lookups, one virtual call per event) but retains nothing, so the
+//! throughput delta against an untraced run isolates the cost of
+//! tracing itself (EXPERIMENTS.md §"Tracing overhead"). Simulated
+//! results are identical either way — tracing observes, never steers.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use pei_bench::{run_one, ExpOptions, Scale};
+use pei_bench::runner::RunSpec;
+use pei_bench::{ExpOptions, Scale};
 use pei_core::DispatchPolicy;
+use pei_trace::NullSink;
 use pei_workloads::{InputSize, Workload};
 
 /// The fixed mix: one graph, one analytics, and one ML workload, each
@@ -50,6 +60,7 @@ struct Args {
     label: String,
     out: String,
     append: bool,
+    traced: bool,
 }
 
 fn parse_args() -> Args {
@@ -61,6 +72,7 @@ fn parse_args() -> Args {
     let mut label = String::from("dev");
     let mut out = String::from("BENCH_sim_throughput.json");
     let mut append = false;
+    let mut traced = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -90,8 +102,9 @@ fn parse_args() -> Args {
             "--label" => label = args.next().expect("--label needs a string"),
             "--out" => out = args.next().expect("--out needs a path"),
             "--append" => append = true,
+            "--traced" => traced = true,
             other => panic!(
-                "unknown argument `{other}` (--scale, --seed, --repeat, --label, --out, --append)"
+                "unknown argument `{other}` (--scale, --seed, --repeat, --label, --out, --append, --traced)"
             ),
         }
     }
@@ -101,6 +114,7 @@ fn parse_args() -> Args {
         label,
         out,
         append,
+        traced,
     }
 }
 
@@ -120,8 +134,8 @@ fn record_json(args: &Args, runs: &[Measured]) -> String {
     let mut s = String::new();
     let _ = write!(
         s,
-        "  {{\n    \"label\": \"{}\",\n    \"scale\": \"{scale}\",\n    \"seed\": {},\n    \"runs\": [",
-        args.label, args.opts.seed
+        "  {{\n    \"label\": \"{}\",\n    \"scale\": \"{scale}\",\n    \"seed\": {},\n    \"traced\": {},\n    \"runs\": [",
+        args.label, args.opts.seed, args.traced
     );
     let (mut ev_tot, mut cy_tot, mut wall_tot) = (0u64, 0u64, 0f64);
     for (i, r) in runs.iter().enumerate() {
@@ -158,6 +172,12 @@ fn main() {
         "workload", "policy", "events", "sim_cycles", "wall_s", "events/s", "sim_cycles/s"
     );
     for (w, policy) in MIX {
+        let spec = RunSpec::sized(
+            args.opts.machine(policy),
+            args.opts.workload_params(),
+            w,
+            InputSize::Medium,
+        );
         // Best-of-N wall time: simulated results are identical across
         // repeats (determinism contract), so the minimum isolates the
         // simulator's speed from scheduler noise on a shared host.
@@ -165,7 +185,11 @@ fn main() {
         let mut res = None;
         for _ in 0..args.repeat {
             let t0 = Instant::now();
-            let r = run_one(&args.opts, w, InputSize::Medium, policy);
+            let r = if args.traced {
+                spec.run_traced(Box::new(NullSink::new())).0
+            } else {
+                spec.run()
+            };
             wall_s = wall_s.min(t0.elapsed().as_secs_f64().max(1e-9));
             res = Some(r);
         }

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod runner;
+pub mod tracecap;
 
 use pei_core::DispatchPolicy;
 use pei_system::{MachineConfig, RunResult, System};
@@ -38,8 +39,27 @@ pub enum Scale {
     Full,
 }
 
+impl Scale {
+    /// Command-line / trace-metadata name (`quick` or `full`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
+
+    /// Inverse of [`name`](Scale::name).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+}
+
 /// Parsed command-line options shared by all figure binaries.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExpOptions {
     /// Simulation effort.
     pub scale: Scale,
@@ -50,17 +70,21 @@ pub struct ExpOptions {
     /// Worker threads for the experiment grid (`>= 1`). Affects
     /// wall-clock time only, never results.
     pub jobs: usize,
+    /// If set, also capture the binary's representative cell as an
+    /// event trace (`.petr`, see [`tracecap`]) at this path.
+    pub trace: Option<std::path::PathBuf>,
 }
 
 impl Default for ExpOptions {
-    /// Quick scale, scaled machine, the default seed, and one worker
-    /// per available hardware thread.
+    /// Quick scale, scaled machine, the default seed, one worker per
+    /// available hardware thread, and no trace capture.
     fn default() -> Self {
         ExpOptions {
             scale: Scale::Quick,
             paper_machine: false,
             seed: 0x5eed,
             jobs: default_jobs(),
+            trace: None,
         }
     }
 }
@@ -85,11 +109,8 @@ impl ExpOptions {
             match a.as_str() {
                 "--scale" => {
                     let v = args.next().expect("--scale needs quick|full");
-                    opts.scale = match v.as_str() {
-                        "quick" => Scale::Quick,
-                        "full" => Scale::Full,
-                        other => panic!("unknown scale `{other}` (quick|full)"),
-                    };
+                    opts.scale = Scale::parse(&v)
+                        .unwrap_or_else(|| panic!("unknown scale `{v}` (quick|full)"));
                 }
                 "--paper" => opts.paper_machine = true,
                 "--seed" => {
@@ -107,7 +128,12 @@ impl ExpOptions {
                         .expect("jobs must be an integer");
                     assert!(opts.jobs >= 1, "--jobs must be at least 1");
                 }
-                other => panic!("unknown argument `{other}` (--scale, --paper, --seed, --jobs)"),
+                "--trace" => {
+                    opts.trace = Some(args.next().expect("--trace needs a path").into());
+                }
+                other => {
+                    panic!("unknown argument `{other}` (--scale, --paper, --seed, --jobs, --trace)")
+                }
             }
         }
         opts
@@ -170,6 +196,40 @@ pub fn run_trace(
     let mut sys = System::new(cfg, store);
     sys.add_workload(trace, (0..cfg.cores).collect());
     sys.run(CYCLE_LIMIT)
+}
+
+/// If `--trace <path>` was given, captures the binary's representative
+/// cell — `workload` at `size` under `policy`, at the options' scale and
+/// seed — as a replayable `.petr` event trace at that path (see
+/// [`tracecap`]). Call once, after printing the figure, with the cell
+/// that best characterizes the figure's behavior. No-op without
+/// `--trace`.
+pub fn write_trace_if_requested(
+    opts: &ExpOptions,
+    workload: Workload,
+    size: InputSize,
+    policy: DispatchPolicy,
+) {
+    let Some(path) = &opts.trace else { return };
+    let spec = tracecap::CaptureSpec {
+        workload,
+        size,
+        policy,
+        scale: opts.scale,
+        paper_machine: opts.paper_machine,
+        seed: opts.seed,
+        pei_budget: None,
+    };
+    let (_, trace) = spec.capture();
+    std::fs::write(path, trace.to_bytes())
+        .unwrap_or_else(|e| panic!("cannot write trace {}: {e}", path.display()));
+    eprintln!(
+        "captured {} records ({} dropped) from {} to {}",
+        trace.records.len(),
+        trace.dropped,
+        spec,
+        path.display()
+    );
 }
 
 /// Runs with the Ideal-Host reference configuration (§7).

@@ -166,13 +166,18 @@ impl RunSpec {
         }
     }
 
-    /// Executes this cell to completion. Pure in the spec: equal specs
-    /// produce equal results, on any thread, in any order.
-    pub fn run(&self) -> RunResult {
+    /// Builds the simulated machine for this cell — workload inputs
+    /// generated, threads mapped to cores — without running it. Callers
+    /// that want the plain result use [`run`](RunSpec::run); callers
+    /// that attach observers (a [`pei_trace::TraceSink`], say) build
+    /// first and drive [`System::run`] themselves.
+    pub fn build(&self) -> System {
         match &self.input {
             SpecInput::Sized { workload, size } => {
                 let (store, trace) = workload.build(*size, &self.params);
-                System::run_workload(self.cfg, store, trace, self.max_cycles)
+                let mut sys = System::new(self.cfg, store);
+                sys.add_workload(trace, (0..self.cfg.cores).collect());
+                sys
             }
             SpecInput::OnGraph {
                 workload,
@@ -182,7 +187,9 @@ impl RunSpec {
             } => {
                 let g = cache::shared_power_law(*vertices, *avg_deg, *graph_seed);
                 let (store, trace) = workload.build_on_graph(g, &self.params);
-                System::run_workload(self.cfg, store, trace, self.max_cycles)
+                let mut sys = System::new(self.cfg, store);
+                sys.add_workload(trace, (0..self.cfg.cores).collect());
+                sys
             }
             SpecInput::Mix { a, b, params_b } => {
                 let half = self.cfg.cores / 2;
@@ -192,9 +199,31 @@ impl RunSpec {
                 let mut sys = System::new(self.cfg, store);
                 sys.add_workload(trace_a, (0..half).collect());
                 sys.add_workload(trace_b, (half..self.cfg.cores).collect());
-                sys.run(self.max_cycles)
+                sys
             }
         }
+    }
+
+    /// Executes this cell to completion. Pure in the spec: equal specs
+    /// produce equal results, on any thread, in any order.
+    pub fn run(&self) -> RunResult {
+        let mut sys = self.build();
+        sys.run(self.max_cycles)
+    }
+
+    /// Executes this cell with `sink` attached as an event tracer,
+    /// returning the result and the detached sink. The simulated
+    /// outcome is identical to [`run`](RunSpec::run) — tracing observes,
+    /// never steers (see DESIGN.md §8).
+    pub fn run_traced(
+        &self,
+        sink: Box<dyn pei_trace::TraceSink>,
+    ) -> (RunResult, Box<dyn pei_trace::TraceSink>) {
+        let mut sys = self.build();
+        sys.attach_tracer(sink);
+        let result = sys.run(self.max_cycles);
+        let sink = sys.detach_tracer().expect("tracer was just attached");
+        (result, sink)
     }
 }
 

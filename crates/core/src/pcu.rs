@@ -263,6 +263,12 @@ impl HostPcu {
         )
     }
 
+    /// Labels the current counter values as the end of phase `label`
+    /// (see `Counters::snapshot`).
+    pub fn snapshot_phase(&mut self, label: &'static str) {
+        self.counters.snapshot(label);
+    }
+
     /// Dumps statistics under `prefix`.
     pub fn report(&self, prefix: &str, stats: &mut StatsReport) {
         self.counters.flush(prefix, stats);
@@ -456,6 +462,12 @@ impl MemPcu {
     /// In-service + queued commands (test helper).
     pub fn backlog(&self) -> usize {
         self.tasks.len() + self.waiting.len()
+    }
+
+    /// Labels the current counter values as the end of phase `label`
+    /// (see `Counters::snapshot`).
+    pub fn snapshot_phase(&mut self, label: &'static str) {
+        self.counters.snapshot(label);
     }
 
     /// Dumps statistics under `prefix`.

@@ -444,6 +444,13 @@ impl Pmu {
         self.txns.len()
     }
 
+    /// Labels the current counter values (including the locality
+    /// monitor's) as the end of phase `label` (see `Counters::snapshot`).
+    pub fn snapshot_phase(&mut self, label: &'static str) {
+        self.counters.snapshot(label);
+        self.mon.snapshot_phase(label);
+    }
+
     /// Dumps statistics under `prefix`.
     pub fn report(&self, prefix: &str, stats: &mut StatsReport) {
         // `bd_dither` is an internal dithering phase, not a published stat.

@@ -425,6 +425,12 @@ impl Core {
         }
     }
 
+    /// Labels the current counter values as the end of phase `label`
+    /// (see `Counters::snapshot`).
+    pub fn snapshot_phase(&mut self, label: &'static str) {
+        self.counters.snapshot(label);
+    }
+
     /// Dumps statistics under `prefix`.
     pub fn report(&self, prefix: &str, stats: &mut pei_engine::StatsReport) {
         // `tlb_walks` duplicates `tlb.misses` below; keep the key set as-is.

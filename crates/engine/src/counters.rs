@@ -34,6 +34,10 @@ pub struct CounterId(u32);
 pub struct Counters {
     names: Vec<&'static str>,
     slots: Vec<u64>,
+    /// Labeled point-in-time copies of `slots` (see
+    /// [`snapshot`](Counters::snapshot)); empty unless a caller marks
+    /// phases, so the default flush output is unchanged.
+    snapshots: Vec<(&'static str, Vec<u64>)>,
 }
 
 impl Counters {
@@ -69,6 +73,34 @@ impl Counters {
         self.slots[id.0 as usize]
     }
 
+    /// Labels the current counter values as the end of phase `label`.
+    /// Off the hot path (one `Vec` clone); call at phase boundaries
+    /// only. [`flush`](Counters::flush) then additionally emits each
+    /// phase's *interval* (the per-counter delta since the previous
+    /// snapshot) as `{prefix}phase.{label}.{name}`, with the tail after
+    /// the last snapshot labeled `steady`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pei_engine::{Counters, StatsReport};
+    ///
+    /// let mut c = Counters::new();
+    /// let hits = c.register("hits");
+    /// c.add(hits, 3);
+    /// c.snapshot("warmup");
+    /// c.add(hits, 10);
+    ///
+    /// let mut stats = StatsReport::new();
+    /// c.flush("l1.", &mut stats);
+    /// assert_eq!(stats.expect("l1.hits"), 13.0);
+    /// assert_eq!(stats.expect("l1.phase.warmup.hits"), 3.0);
+    /// assert_eq!(stats.expect("l1.phase.steady.hits"), 10.0);
+    /// ```
+    pub fn snapshot(&mut self, label: &'static str) {
+        self.snapshots.push((label, self.slots.clone()));
+    }
+
     /// Writes every counter into `stats` as `{prefix}{name}`,
     /// accumulating into existing keys. End-of-run only.
     pub fn flush(&self, prefix: &str, stats: &mut StatsReport) {
@@ -78,10 +110,41 @@ impl Counters {
     /// Like [`flush`](Counters::flush), but only for counters whose name
     /// passes `keep` — for banks holding internal tallies (fed to other
     /// models at end of run) that are not part of the published report.
+    /// Phase intervals recorded via [`snapshot`](Counters::snapshot) are
+    /// emitted under `{prefix}phase.{label}.{name}` and filtered by the
+    /// same `keep` (on the bare counter name).
     pub fn flush_if(&self, prefix: &str, stats: &mut StatsReport, keep: impl Fn(&str) -> bool) {
         for (name, &v) in self.names.iter().zip(&self.slots) {
             if keep(name) {
                 stats.bump(format!("{prefix}{name}"), v as f64);
+            }
+        }
+        if self.snapshots.is_empty() {
+            return;
+        }
+        let zeros = vec![0u64; self.slots.len()];
+        let mut prev = &zeros;
+        for (label, snap) in &self.snapshots {
+            self.flush_interval(prefix, label, prev, snap, stats, &keep);
+            prev = snap;
+        }
+        self.flush_interval(prefix, "steady", prev, &self.slots, stats, &keep);
+    }
+
+    /// Emits `end - start` for every kept counter as
+    /// `{prefix}phase.{label}.{name}`.
+    fn flush_interval(
+        &self,
+        prefix: &str,
+        label: &str,
+        start: &[u64],
+        end: &[u64],
+        stats: &mut StatsReport,
+        keep: &impl Fn(&str) -> bool,
+    ) {
+        for ((name, &s), &e) in self.names.iter().zip(start).zip(end) {
+            if keep(name) {
+                stats.bump(format!("{prefix}phase.{label}.{name}"), (e - s) as f64);
             }
         }
     }
@@ -125,6 +188,56 @@ mod tests {
         c.flush_if("l3.", &mut stats, |n| n != "accesses");
         assert_eq!(stats.expect("l3.hits"), 1.0);
         assert_eq!(stats.get("l3.accesses"), None);
+    }
+
+    #[test]
+    fn snapshots_emit_phase_intervals() {
+        let mut c = Counters::new();
+        let a = c.register("reads");
+        let b = c.register("writes");
+        c.add(a, 5);
+        c.snapshot("warmup");
+        c.add(a, 2);
+        c.add(b, 7);
+        c.snapshot("mid");
+        c.inc(b);
+        let mut stats = StatsReport::new();
+        c.flush("v.", &mut stats);
+        // Totals are unchanged by snapshotting.
+        assert_eq!(stats.expect("v.reads"), 7.0);
+        assert_eq!(stats.expect("v.writes"), 8.0);
+        // Intervals are deltas between consecutive snapshots.
+        assert_eq!(stats.expect("v.phase.warmup.reads"), 5.0);
+        assert_eq!(stats.expect("v.phase.warmup.writes"), 0.0);
+        assert_eq!(stats.expect("v.phase.mid.reads"), 2.0);
+        assert_eq!(stats.expect("v.phase.mid.writes"), 7.0);
+        // The tail after the last snapshot is the steady interval.
+        assert_eq!(stats.expect("v.phase.steady.reads"), 0.0);
+        assert_eq!(stats.expect("v.phase.steady.writes"), 1.0);
+    }
+
+    #[test]
+    fn no_snapshots_means_no_phase_keys() {
+        let mut c = Counters::new();
+        let a = c.register("reads");
+        c.inc(a);
+        let mut stats = StatsReport::new();
+        c.flush("v.", &mut stats);
+        assert_eq!(stats.len(), 1, "only the total must be emitted");
+    }
+
+    #[test]
+    fn phase_intervals_respect_flush_filter() {
+        let mut c = Counters::new();
+        let pub_ = c.register("hits");
+        let internal = c.register("accesses");
+        c.inc(pub_);
+        c.inc(internal);
+        c.snapshot("warmup");
+        let mut stats = StatsReport::new();
+        c.flush_if("l3.", &mut stats, |n| n != "accesses");
+        assert_eq!(stats.expect("l3.phase.warmup.hits"), 1.0);
+        assert_eq!(stats.get("l3.phase.warmup.accesses"), None);
     }
 
     #[test]

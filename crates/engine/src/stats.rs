@@ -69,6 +69,36 @@ impl StatsReport {
             .sum()
     }
 
+    /// Extracts one phase's interval counters as a report keyed by the
+    /// plain counter names: every `X.phase.{label}.Y` entry becomes
+    /// `X.Y`, directly comparable against the whole-run totals (see
+    /// `Counters::snapshot` in this crate). Empty if no component
+    /// recorded that phase.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pei_engine::StatsReport;
+    ///
+    /// let mut s = StatsReport::new();
+    /// s.add("l1.hits", 13.0);
+    /// s.add("l1.phase.warmup.hits", 3.0);
+    /// s.add("l1.phase.steady.hits", 10.0);
+    /// let warmup = s.phase_section("warmup");
+    /// assert_eq!(warmup.get("l1.hits"), Some(3.0));
+    /// assert_eq!(warmup.len(), 1);
+    /// ```
+    pub fn phase_section(&self, label: &str) -> StatsReport {
+        let needle = format!("phase.{label}.");
+        self.values
+            .iter()
+            .filter_map(|(k, v)| {
+                k.find(&needle)
+                    .map(|i| (format!("{}{}", &k[..i], &k[i + needle.len()..]), *v))
+            })
+            .collect()
+    }
+
     /// Merges another report into this one, summing overlapping names.
     pub fn merge(&mut self, other: &StatsReport) {
         for (k, v) in &other.values {
@@ -161,6 +191,20 @@ mod tests {
         assert_eq!(s.sum_prefix("l3."), 6.0);
         assert_eq!(s.sum_prefix("l3"), 15.0); // `l3`, `l3.*`, and `l3x.*`
         assert_eq!(s.sum_prefix(""), 31.0); // empty prefix sums everything
+    }
+
+    #[test]
+    fn phase_section_strips_the_phase_segment() {
+        let mut s = StatsReport::new();
+        s.add("core.instructions", 100.0);
+        s.add("core.phase.warmup.instructions", 30.0);
+        s.add("core.phase.steady.instructions", 70.0);
+        s.add("l3.phase.warmup.hits", 5.0);
+        let w = s.phase_section("warmup");
+        assert_eq!(w.get("core.instructions"), Some(30.0));
+        assert_eq!(w.get("l3.hits"), Some(5.0));
+        assert_eq!(w.len(), 2);
+        assert!(s.phase_section("nope").is_empty());
     }
 
     #[test]

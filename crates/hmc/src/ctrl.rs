@@ -311,6 +311,12 @@ impl HmcController {
         self.pending_reads
     }
 
+    /// Labels the current counter values as the end of phase `label`
+    /// (see `Counters::snapshot`).
+    pub fn snapshot_phase(&mut self, label: &'static str) {
+        self.counters.snapshot(label);
+    }
+
     /// Dumps statistics under `prefix`.
     pub fn report(&self, prefix: &str, stats: &mut StatsReport) {
         self.counters.flush(prefix, stats);

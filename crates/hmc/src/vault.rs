@@ -222,6 +222,12 @@ impl Vault {
         self.counters.get(self.c.reads) + self.counters.get(self.c.writes)
     }
 
+    /// Labels the current counter values as the end of phase `label`
+    /// (see `Counters::snapshot`).
+    pub fn snapshot_phase(&mut self, label: &'static str) {
+        self.counters.snapshot(label);
+    }
+
     /// Dumps statistics under `prefix`.
     pub fn report(&self, prefix: &str, stats: &mut StatsReport) {
         self.counters.flush(prefix, stats);

@@ -605,6 +605,12 @@ impl L3Bank {
         self.counters.get(self.c.accesses)
     }
 
+    /// Labels the current counter values as the end of phase `label`
+    /// (see `Counters::snapshot`).
+    pub fn snapshot_phase(&mut self, label: &'static str) {
+        self.counters.snapshot(label);
+    }
+
     /// Dumps statistics under `prefix`.
     pub fn report(&self, prefix: &str, stats: &mut StatsReport) {
         // `accesses` was historically not part of the report (it feeds

@@ -358,6 +358,12 @@ impl PrivateCache {
         self.mshr.len()
     }
 
+    /// Labels the current counter values as the end of phase `label`
+    /// (see `Counters::snapshot`).
+    pub fn snapshot_phase(&mut self, label: &'static str) {
+        self.counters.snapshot(label);
+    }
+
     /// Dumps statistics under `prefix` (e.g. `core0.`).
     pub fn report(&self, prefix: &str, stats: &mut StatsReport) {
         self.counters.flush(prefix, stats);

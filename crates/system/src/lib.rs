@@ -36,6 +36,7 @@
 pub mod config;
 pub mod energy;
 pub mod system;
+mod tracer;
 
 pub use config::MachineConfig;
 pub use energy::{EnergyBreakdown, EnergyInputs, EnergyModel};

@@ -9,6 +9,7 @@
 
 use crate::config::MachineConfig;
 use crate::energy::{self, EnergyBreakdown, EnergyInputs, EnergyModel};
+use crate::tracer::Tracer;
 use pei_core::{HostPcu, HostPcuOut, MemPcu, MemPcuOut, Pmu, PmuIn, PmuOut};
 use pei_cpu::core::{Core, CoreEvent, CoreStatus};
 use pei_cpu::trace::PhasedTrace;
@@ -20,10 +21,17 @@ use pei_mem::l3::{L3In, L3Out};
 use pei_mem::msg::{CoreReq, L3Resp, Recall};
 use pei_mem::xbar::XbarPayload;
 use pei_mem::{BackingStore, Crossbar, L3Bank, PrivOut, PrivateCache};
+use pei_trace::TraceSink;
 use pei_types::mem::ns;
 use pei_types::{BlockAddr, CoreId, Cycle, L3BankId, OperandValue, PimCmd, ReqId};
 
 /// Internal event type of the system loop.
+///
+/// The queue holds millions of these, so size matters: the per-PEI
+/// carriers of [`PimCmd`] / [`pei_types::PimOut`] / operand values are
+/// boxed (PEIs are orders of magnitude rarer than plain memory events),
+/// while the plain-memory-path variants stay inline. The
+/// `ev_stays_compact` test pins the resulting size.
 #[derive(Debug)]
 enum Ev {
     CoreTick(usize),
@@ -35,17 +43,20 @@ enum Ev {
     PrivL3Resp(usize, L3Resp),
     PrivRecall(usize, Recall),
     L3(usize, L3In),
-    CtrlHost(CtrlIn),
-    CtrlMem(MemSideIn),
+    CtrlHostRead(ReqId, BlockAddr),
+    CtrlHostWrite(BlockAddr),
+    CtrlHostPim(Box<PimCmd>),
+    CtrlMemReadDone(ReqId, BlockAddr, u16),
+    CtrlMemPimDone(u16, Box<pei_types::PimOut>),
     VaultAcc(usize, VaultIn),
     VaultWake(usize),
-    MemPcuCmd(usize, PimCmd),
+    MemPcuCmd(usize, Box<PimCmd>),
     MemPcuVaultDone(usize, ReqId, bool),
-    Pmu(PmuIn),
+    Pmu(Box<PmuIn>),
     HostPcuDecision(usize, ReqId),
     HostPcuDispatchedMem(usize, ReqId),
     HostPcuL1Resp(usize, ReqId),
-    HostPcuMemResult(usize, ReqId, OperandValue),
+    HostPcuMemResult(usize, ReqId, Box<OperandValue>),
 }
 
 struct Group {
@@ -119,6 +130,10 @@ pub struct System {
     ob_mpcu: Outbox<MemPcuOut>,
     ob_pmu: Outbox<PmuOut>,
     ob_hpcu: Outbox<HostPcuOut>,
+    // Event capture (None in normal runs). The hot path pays one
+    // `is_some()` branch per dispatched event when tracing is off; all
+    // name interning happens at attach time (see crate::tracer).
+    tracer: Option<Tracer>,
 }
 
 // Parallel experiment runners move whole `System`s (including their
@@ -187,8 +202,52 @@ impl System {
             ob_mpcu: Outbox::new(),
             ob_pmu: Outbox::new(),
             ob_hpcu: Outbox::new(),
+            tracer: None,
             cfg,
         }
+    }
+
+    /// Attaches an event-capture sink. Component and kind names are
+    /// interned into the sink immediately (so the event loop never
+    /// hashes a string), and the machine shape is written to the sink's
+    /// metadata. Replaces any previously attached sink.
+    pub fn attach_tracer(&mut self, sink: Box<dyn TraceSink>) {
+        self.tracer = Some(Tracer::new(sink, &self.cfg));
+    }
+
+    /// Detaches and returns the capture sink, if one is attached.
+    pub fn detach_tracer(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.tracer.take().map(|t| t.sink)
+    }
+
+    /// Labels every component's current counter values as the end of
+    /// phase `label`. The final [`RunResult`] stats then carry interval
+    /// sections `*.phase.{label}.*` (with the tail after the last mark
+    /// labeled `steady`), extractable with `StatsReport::phase_section`.
+    /// The run loop calls this automatically with `"warmup"` when
+    /// workload group 0 finishes its first phase; experiment harnesses
+    /// may add marks of their own between `run` calls.
+    pub fn mark_phase(&mut self, label: &'static str) {
+        for c in &mut self.cores {
+            c.snapshot_phase(label);
+        }
+        for p in &mut self.privs {
+            p.snapshot_phase(label);
+        }
+        for b in &mut self.l3banks {
+            b.snapshot_phase(label);
+        }
+        for v in &mut self.vaults {
+            v.snapshot_phase(label);
+        }
+        for p in &mut self.host_pcus {
+            p.snapshot_phase(label);
+        }
+        for p in &mut self.mem_pcus {
+            p.snapshot_phase(label);
+        }
+        self.ctrl.snapshot_phase(label);
+        self.pmu.snapshot_phase(label);
     }
 
     /// Spec-driven one-call entry: builds a machine per `cfg`, assigns
@@ -304,6 +363,15 @@ impl System {
                     self.cores[c].push_ops(ops);
                     self.queue.schedule(now, Ev::CoreTick(c));
                 }
+                // Group 0 finishing its first phase marks the warmup /
+                // steady-state boundary of the whole run.
+                if g == 0 && self.groups[g].phases == 2 {
+                    self.mark_phase("warmup");
+                }
+                if self.tracer.is_some() {
+                    let phase_no = self.groups[g].phases;
+                    self.trace_mark(now, true, g, phase_no);
+                }
                 // A phase where every thread is empty completes instantly;
                 // the per-core Drained path handles it because empty cores
                 // report Drained on their scheduled tick.
@@ -317,6 +385,9 @@ impl System {
                     .map(|&c| self.cores[c].instructions())
                     .sum();
                 self.finish_time = self.finish_time.max(now);
+                if self.tracer.is_some() {
+                    self.trace_mark(now, false, g, 0);
+                }
             }
         }
     }
@@ -398,7 +469,88 @@ impl System {
         s
     }
 
+    /// Captures one dispatched event. Out-of-line and only reached with
+    /// a tracer attached, so the untraced loop pays nothing beyond the
+    /// `is_some()` branch in [`dispatch`](Self::dispatch).
+    #[cold]
+    fn trace_ev(&mut self, now: Cycle, ev: &Ev) {
+        let t = self.tracer.as_mut().expect("trace_ev requires a tracer");
+        let (comp, kind, payload) = match ev {
+            Ev::CoreTick(i) => (t.core[*i], t.k.core_tick, 0),
+            Ev::CoreMemDone(i, id) => (t.core[*i], t.k.core_mem_done, id.0),
+            Ev::CorePeiDone(i, seq) => (t.core[*i], t.k.core_pei_done, *seq),
+            Ev::CorePeiCredit(i) => (t.core[*i], t.k.core_pei_credit, 0),
+            Ev::CorePfenceDone(i) => (t.core[*i], t.k.core_pfence_done, 0),
+            Ev::PrivCoreReq(i, req) => (t.cache[*i], t.k.priv_req, req.addr.0),
+            Ev::PrivL3Resp(i, resp) => (t.cache[*i], t.k.priv_resp, resp.id.0),
+            Ev::PrivRecall(i, recall) => (t.cache[*i], t.k.priv_recall, recall.block.0),
+            Ev::L3(b, input) => {
+                let (kind, payload) = match input {
+                    L3In::Req(req) => (t.k.l3_req, req.block.0),
+                    L3In::Ack(ack) => (t.k.l3_ack, ack.block.0),
+                    L3In::Flush(flush) => (t.k.l3_flush, flush.block.0),
+                    L3In::FetchDone(done) => (t.k.l3_fetch_done, done.block.0),
+                };
+                (t.l3[*b], kind, payload)
+            }
+            Ev::CtrlHostRead(_, block) => (t.ctrl, t.k.ctrl_read, block.0),
+            Ev::CtrlHostWrite(block) => (t.ctrl, t.k.ctrl_write, block.0),
+            Ev::CtrlHostPim(cmd) => (t.ctrl, t.k.ctrl_pim, cmd.target.0),
+            Ev::CtrlMemReadDone(_, block, _) => (t.ctrl, t.k.ctrl_read_done, block.0),
+            Ev::CtrlMemPimDone(_, out) => (t.ctrl, t.k.ctrl_pim_done, out.block.0),
+            Ev::VaultAcc(v, acc) => (t.vault[*v], t.k.vault_access, acc.block.0),
+            Ev::VaultWake(v) => (t.vault[*v], t.k.vault_wake, 0),
+            Ev::MemPcuCmd(v, cmd) => (t.mpcu[*v], t.k.mpcu_cmd, cmd.target.0),
+            Ev::MemPcuVaultDone(v, id, _) => (t.mpcu[*v], t.k.mpcu_vault_done, id.0),
+            Ev::Pmu(input) => {
+                let (kind, payload) = match input.as_ref() {
+                    PmuIn::Request { id, .. } => (t.k.pmu_request, id.0),
+                    PmuIn::HostRelease { id } => (t.k.pmu_host_release, id.0),
+                    PmuIn::FlushDone { id } => (t.k.pmu_flush_done, id.0),
+                    PmuIn::MemResult { out } => (t.k.pmu_mem_result, out.id.0),
+                    PmuIn::Pfence { core } => (t.k.pmu_pfence, core.0 as u64),
+                };
+                (t.pmu, kind, payload)
+            }
+            Ev::HostPcuDecision(c, id) => (t.hpcu[*c], t.k.hpcu_decide_host, id.0),
+            Ev::HostPcuDispatchedMem(c, id) => (t.hpcu[*c], t.k.hpcu_dispatched_mem, id.0),
+            Ev::HostPcuL1Resp(c, id) => (t.hpcu[*c], t.k.hpcu_l1_resp, id.0),
+            Ev::HostPcuMemResult(c, id, _) => (t.hpcu[*c], t.k.hpcu_mem_result, id.0),
+        };
+        t.sink.record(now, comp, kind, payload);
+    }
+
+    /// Records a phase boundary (`start`) or group completion; payload
+    /// packs the group index in the high half and the phase ordinal in
+    /// the low half.
+    #[cold]
+    fn trace_mark(&mut self, now: Cycle, start: bool, g: usize, phase_no: u64) {
+        let t = self.tracer.as_mut().expect("trace_mark requires a tracer");
+        let kind = if start {
+            t.k.phase_start
+        } else {
+            t.k.group_done
+        };
+        let payload = ((g as u64) << 32) | (phase_no & 0xffff_ffff);
+        t.sink.record(now, t.system, kind, payload);
+    }
+
+    /// Sends over the crossbar, capturing the message when tracing; the
+    /// payload packs the source port in the high half and the delivery
+    /// latency in the low half.
+    fn xsend(&mut self, port: usize, at: Cycle, payload: XbarPayload) -> Cycle {
+        let delivered = self.xbar.send(port, at, payload);
+        if let Some(t) = &mut self.tracer {
+            let packed = ((port as u64) << 32) | ((delivered - at) & 0xffff_ffff);
+            t.sink.record(at, t.xbar, t.k.xbar_msg, packed);
+        }
+        delivered
+    }
+
     fn dispatch(&mut self, now: Cycle, ev: Ev) {
+        if self.tracer.is_some() {
+            self.trace_ev(now, &ev);
+        }
         match ev {
             Ev::CoreTick(i) => self.core_tick(i, now),
             Ev::CoreMemDone(i, id) => {
@@ -450,17 +602,14 @@ impl System {
                 self.route_l3(b, &mut outs);
                 self.ob_l3 = outs;
             }
-            Ev::CtrlHost(input) => {
-                let mut outs = std::mem::take(&mut self.ob_ctrl);
-                self.ctrl.handle_host(now, input, &mut outs);
-                self.route_ctrl(&mut outs);
-                self.ob_ctrl = outs;
+            Ev::CtrlHostRead(id, block) => self.ctrl_host(now, CtrlIn::Read { id, block }),
+            Ev::CtrlHostWrite(block) => self.ctrl_host(now, CtrlIn::Write { block }),
+            Ev::CtrlHostPim(cmd) => self.ctrl_host(now, CtrlIn::Pim { cmd: *cmd }),
+            Ev::CtrlMemReadDone(id, block, cube) => {
+                self.ctrl_mem(now, MemSideIn::ReadDone { id, block, cube });
             }
-            Ev::CtrlMem(input) => {
-                let mut outs = std::mem::take(&mut self.ob_ctrl);
-                self.ctrl.handle_mem_side(now, input, &mut outs);
-                self.route_ctrl(&mut outs);
-                self.ob_ctrl = outs;
+            Ev::CtrlMemPimDone(cube, out) => {
+                self.ctrl_mem(now, MemSideIn::PimDone { out: *out, cube });
             }
             Ev::VaultAcc(v, acc) => {
                 let mut outs = std::mem::take(&mut self.ob_vault);
@@ -476,7 +625,7 @@ impl System {
             }
             Ev::MemPcuCmd(v, cmd) => {
                 let mut outs = std::mem::take(&mut self.ob_mpcu);
-                self.mem_pcus[v].on_cmd(now, cmd, &mut outs);
+                self.mem_pcus[v].on_cmd(now, *cmd, &mut outs);
                 self.route_mem_pcu(v, &mut outs);
                 self.ob_mpcu = outs;
             }
@@ -489,7 +638,7 @@ impl System {
             Ev::Pmu(input) => {
                 let balance = self.ctrl.balance(now);
                 let mut outs = std::mem::take(&mut self.ob_pmu);
-                self.pmu.handle(now, input, balance, &mut outs);
+                self.pmu.handle(now, *input, balance, &mut outs);
                 self.route_pmu(&mut outs);
                 self.ob_pmu = outs;
             }
@@ -513,11 +662,25 @@ impl System {
             }
             Ev::HostPcuMemResult(c, id, output) => {
                 let mut outs = std::mem::take(&mut self.ob_hpcu);
-                self.host_pcus[c].on_mem_result(now, id, output, &mut outs);
+                self.host_pcus[c].on_mem_result(now, id, *output, &mut outs);
                 self.route_host_pcu(c, &mut outs);
                 self.ob_hpcu = outs;
             }
         }
+    }
+
+    fn ctrl_host(&mut self, now: Cycle, input: CtrlIn) {
+        let mut outs = std::mem::take(&mut self.ob_ctrl);
+        self.ctrl.handle_host(now, input, &mut outs);
+        self.route_ctrl(&mut outs);
+        self.ob_ctrl = outs;
+    }
+
+    fn ctrl_mem(&mut self, now: Cycle, input: MemSideIn) {
+        let mut outs = std::mem::take(&mut self.ob_ctrl);
+        self.ctrl.handle_mem_side(now, input, &mut outs);
+        self.route_ctrl(&mut outs);
+        self.ob_ctrl = outs;
     }
 
     fn core_tick(&mut self, i: usize, now: Cycle) {
@@ -541,12 +704,12 @@ impl System {
                     self.ob_hpcu = outs;
                 }
                 CoreOut::PfenceReq => {
-                    let at = self.xbar.send(self.port_priv(i), now, XbarPayload::Control);
+                    let at = self.xsend(self.port_priv(i), now, XbarPayload::Control);
                     self.queue.schedule(
                         at,
-                        Ev::Pmu(PmuIn::Pfence {
+                        Ev::Pmu(Box::new(PmuIn::Pfence {
                             core: CoreId(i as u16),
-                        }),
+                        })),
                     );
                 }
             }
@@ -587,7 +750,7 @@ impl System {
                     } else {
                         XbarPayload::Control
                     };
-                    let delivered = self.xbar.send(self.port_priv(i), at, payload);
+                    let delivered = self.xsend(self.port_priv(i), at, payload);
                     let bank = self.bank_of(req.block);
                     self.queue.schedule(delivered, Ev::L3(bank, L3In::Req(req)));
                 }
@@ -597,7 +760,7 @@ impl System {
                     } else {
                         XbarPayload::Control
                     };
-                    let delivered = self.xbar.send(self.port_priv(i), at, payload);
+                    let delivered = self.xsend(self.port_priv(i), at, payload);
                     let bank = self.bank_of(ack.block);
                     self.queue.schedule(delivered, Ev::L3(bank, L3In::Ack(ack)));
                 }
@@ -609,30 +772,26 @@ impl System {
         for out in outs.drain() {
             match out {
                 L3Out::Resp { resp, at } => {
-                    let delivered = self.xbar.send(self.port_l3(b), at, XbarPayload::Data);
+                    let delivered = self.xsend(self.port_l3(b), at, XbarPayload::Data);
                     self.queue
                         .schedule(delivered, Ev::PrivL3Resp(resp.core.index(), resp));
                 }
                 L3Out::Recall { recall, at } => {
-                    let delivered = self.xbar.send(self.port_l3(b), at, XbarPayload::Control);
+                    let delivered = self.xsend(self.port_l3(b), at, XbarPayload::Control);
                     self.queue
                         .schedule(delivered, Ev::PrivRecall(recall.core.index(), recall));
                 }
                 L3Out::Fetch { fetch, at } => {
-                    let input = if fetch.write {
-                        CtrlIn::Write { block: fetch.block }
+                    let ev = if fetch.write {
+                        Ev::CtrlHostWrite(fetch.block)
                     } else {
-                        CtrlIn::Read {
-                            id: fetch.id,
-                            block: fetch.block,
-                        }
+                        Ev::CtrlHostRead(fetch.id, fetch.block)
                     };
-                    self.queue
-                        .schedule(at + self.cfg.ctrl_latency, Ev::CtrlHost(input));
+                    self.queue.schedule(at + self.cfg.ctrl_latency, ev);
                 }
                 L3Out::FlushDone { done, at } => {
                     self.queue
-                        .schedule(at, Ev::Pmu(PmuIn::FlushDone { id: done.id }));
+                        .schedule(at, Ev::Pmu(Box::new(PmuIn::FlushDone { id: done.id })));
                 }
             }
         }
@@ -648,7 +807,7 @@ impl System {
                 }
                 CtrlOut::PimToVault { loc, cmd, at } => {
                     self.queue
-                        .schedule(at, Ev::MemPcuCmd(loc.flat_index(vpc), cmd));
+                        .schedule(at, Ev::MemPcuCmd(loc.flat_index(vpc), Box::new(cmd)));
                 }
                 CtrlOut::ReadResp { id, block, at } => {
                     let bank = self.bank_of(block);
@@ -663,7 +822,7 @@ impl System {
                 CtrlOut::PimResp { out, at } => {
                     self.queue.schedule(
                         at + self.cfg.ctrl_latency,
-                        Ev::Pmu(PmuIn::MemResult { out }),
+                        Ev::Pmu(Box::new(PmuIn::MemResult { out })),
                     );
                 }
             }
@@ -681,14 +840,8 @@ impl System {
                     at,
                 } => match id.namespace() {
                     ns::L3 if !write => {
-                        self.queue.schedule(
-                            at,
-                            Ev::CtrlMem(MemSideIn::ReadDone {
-                                id,
-                                block,
-                                cube: (v / vpc) as u16,
-                            }),
-                        );
+                        self.queue
+                            .schedule(at, Ev::CtrlMemReadDone(id, block, (v / vpc) as u16));
                     }
                     // Writebacks complete silently.
                     ns::MEM_PCU => {
@@ -715,13 +868,8 @@ impl System {
                         .schedule(at, Ev::VaultAcc(v, VaultIn { id, block, write }));
                 }
                 MemPcuOut::Complete { resp, at } => {
-                    self.queue.schedule(
-                        at,
-                        Ev::CtrlMem(MemSideIn::PimDone {
-                            out: resp,
-                            cube: (v / vpc) as u16,
-                        }),
-                    );
+                    self.queue
+                        .schedule(at, Ev::CtrlMemPimDone((v / vpc) as u16, Box::new(resp)));
                 }
             }
         }
@@ -731,7 +879,7 @@ impl System {
         for out in outs.drain() {
             match out {
                 PmuOut::DecideHost { id, core, at } => {
-                    let delivered = self.xbar.send(self.port_pmu(), at, XbarPayload::Control);
+                    let delivered = self.xsend(self.port_pmu(), at, XbarPayload::Control);
                     let _ = delivered;
                     self.queue
                         .schedule(delivered, Ev::HostPcuDecision(core.index(), id));
@@ -741,10 +889,8 @@ impl System {
                     self.queue.schedule(at, Ev::L3(bank, L3In::Flush(flush)));
                 }
                 PmuOut::Launch { cmd, at } => {
-                    self.queue.schedule(
-                        at + self.cfg.ctrl_latency,
-                        Ev::CtrlHost(CtrlIn::Pim { cmd }),
-                    );
+                    self.queue
+                        .schedule(at + self.cfg.ctrl_latency, Ev::CtrlHostPim(Box::new(cmd)));
                 }
                 PmuOut::MemResultToPcu {
                     id,
@@ -752,21 +898,23 @@ impl System {
                     output,
                     at,
                 } => {
-                    let delivered = self.xbar.send(
+                    let delivered = self.xsend(
                         self.port_pmu(),
                         at,
                         XbarPayload::Operands(output.byte_len() as u16),
                     );
-                    self.queue
-                        .schedule(delivered, Ev::HostPcuMemResult(core.index(), id, output));
+                    self.queue.schedule(
+                        delivered,
+                        Ev::HostPcuMemResult(core.index(), id, Box::new(output)),
+                    );
                 }
                 PmuOut::PfenceDone { core, at } => {
-                    let delivered = self.xbar.send(self.port_pmu(), at, XbarPayload::Control);
+                    let delivered = self.xsend(self.port_pmu(), at, XbarPayload::Control);
                     self.queue
                         .schedule(delivered, Ev::CorePfenceDone(core.index()));
                 }
                 PmuOut::DispatchedMem { id, core, at } => {
-                    let delivered = self.xbar.send(self.port_pmu(), at, XbarPayload::Control);
+                    let delivered = self.xsend(self.port_pmu(), at, XbarPayload::Control);
                     self.queue
                         .schedule(delivered, Ev::HostPcuDispatchedMem(core.index(), id));
                 }
@@ -784,20 +932,20 @@ impl System {
                     input,
                     at,
                 } => {
-                    let delivered = self.xbar.send(
+                    let delivered = self.xsend(
                         self.port_priv(c),
                         at,
                         XbarPayload::Operands(input.byte_len() as u16),
                     );
                     self.queue.schedule(
                         delivered,
-                        Ev::Pmu(PmuIn::Request {
+                        Ev::Pmu(Box::new(PmuIn::Request {
                             id,
                             core: CoreId(c as u16),
                             op,
                             target,
                             input,
-                        }),
+                        })),
                     );
                 }
                 HostPcuOut::L1Access { req, at } => {
@@ -810,9 +958,9 @@ impl System {
                     self.queue.schedule(at, Ev::CorePeiCredit(c));
                 }
                 HostPcuOut::ReleaseToPmu { id, at } => {
-                    let delivered = self.xbar.send(self.port_priv(c), at, XbarPayload::Control);
+                    let delivered = self.xsend(self.port_priv(c), at, XbarPayload::Control);
                     self.queue
-                        .schedule(delivered, Ev::Pmu(PmuIn::HostRelease { id }));
+                        .schedule(delivered, Ev::Pmu(Box::new(PmuIn::HostRelease { id })));
                 }
             }
         }
@@ -910,6 +1058,19 @@ impl std::fmt::Debug for System {
 mod tests {
     use super::*;
     use pei_core::DispatchPolicy;
+
+    #[test]
+    fn ev_stays_compact() {
+        // The event queue holds millions of `Ev`s; the per-PEI payload
+        // carriers are boxed so the plain memory path sets the size.
+        // PrivL3Resp / L3 / VaultAcc bound it at 40 bytes — growing past
+        // that means a fat payload leaked inline into a hot variant.
+        assert!(
+            std::mem::size_of::<Ev>() <= 40,
+            "Ev grew to {} bytes; box the new payload instead",
+            std::mem::size_of::<Ev>()
+        );
+    }
 
     #[test]
     fn diagnose_names_a_stuck_vault() {

@@ -1,0 +1,257 @@
+//! The `.petr` binary file format (PEI TRace).
+//!
+//! Everything is little-endian. Layout (DESIGN.md §8):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"PETR"
+//! 4       2     version (currently 1)
+//! 6       4     meta entry count
+//!               per entry: key len u32, key bytes, value len u32, value bytes
+//!         4     component table count; per entry: len u32, UTF-8 bytes
+//!         4     kind table count; per entry: len u32, UTF-8 bytes
+//!         8     dropped record count (ring evictions before the first record)
+//!         8     record count
+//!               records: 20 bytes each (cycle u64, comp u16, kind u16,
+//!               payload u64)
+//! ```
+//!
+//! String tables are written in interning order, so a [`CompId`] /
+//! [`KindId`] in a record indexes the table directly.
+//!
+//! [`CompId`]: crate::record::CompId
+//! [`KindId`]: crate::record::KindId
+
+use crate::record::{Record, RECORD_BYTES};
+use crate::recorder::Trace;
+
+/// The 4-byte magic at the start of every `.petr` file.
+pub const MAGIC: &[u8; 4] = b"PETR";
+
+/// Format version written by this crate.
+pub const VERSION: u16 = 1;
+
+/// Why a `.petr` image failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Underlying file I/O failed.
+    Io(String),
+    /// The magic bytes are not `PETR`.
+    BadMagic,
+    /// The file's version is newer than this reader.
+    BadVersion(u16),
+    /// The image ended before the structure it declared.
+    Truncated {
+        /// Byte offset at which more data was expected.
+        offset: usize,
+    },
+    /// A table string is not valid UTF-8.
+    BadString {
+        /// Byte offset of the offending string.
+        offset: usize,
+    },
+    /// A record references a table index the file does not define.
+    BadIndex {
+        /// Index of the offending record.
+        record: u64,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::BadMagic => write!(f, "not a .petr file (bad magic)"),
+            TraceError::BadVersion(v) => write!(f, "unsupported .petr version {v}"),
+            TraceError::Truncated { offset } => write!(f, "truncated .petr file at byte {offset}"),
+            TraceError::BadString { offset } => write!(f, "non-UTF-8 string at byte {offset}"),
+            TraceError::BadIndex { record } => {
+                write!(f, "record {record} references an undefined table entry")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Serializes a [`Trace`] into its `.petr` byte image.
+pub fn encode(t: &Trace) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + t.records.len() * RECORD_BYTES);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(t.meta.len() as u32).to_le_bytes());
+    for (k, v) in &t.meta {
+        put_str(&mut out, k);
+        put_str(&mut out, v);
+    }
+    for table in [&t.comps, &t.kinds] {
+        out.extend_from_slice(&(table.len() as u32).to_le_bytes());
+        for name in table {
+            put_str(&mut out, name);
+        }
+    }
+    out.extend_from_slice(&t.dropped.to_le_bytes());
+    out.extend_from_slice(&(t.records.len() as u64).to_le_bytes());
+    for r in &t.records {
+        r.encode(&mut out);
+    }
+    out
+}
+
+/// Cursor over a byte image with truncation tracking.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(TraceError::Truncated { offset: self.pos });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, TraceError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, TraceError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, TraceError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, TraceError> {
+        let len = self.u32()? as usize;
+        let offset = self.pos;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| TraceError::BadString { offset })
+    }
+}
+
+/// Parses a `.petr` byte image into a [`Trace`].
+///
+/// # Errors
+///
+/// See [`TraceError`]; record table indexes are validated against the
+/// declared tables.
+pub fn decode(bytes: &[u8]) -> Result<Trace, TraceError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(TraceError::BadVersion(version));
+    }
+    let meta_n = r.u32()? as usize;
+    let mut meta = Vec::with_capacity(meta_n);
+    for _ in 0..meta_n {
+        let k = r.string()?;
+        let v = r.string()?;
+        meta.push((k, v));
+    }
+    let mut tables: [Vec<String>; 2] = [Vec::new(), Vec::new()];
+    for table in &mut tables {
+        let n = r.u32()? as usize;
+        table.reserve(n);
+        for _ in 0..n {
+            table.push(r.string()?);
+        }
+    }
+    let [comps, kinds] = tables;
+    let dropped = r.u64()?;
+    let count = r.u64()?;
+    let mut records = Vec::with_capacity(count.min(1 << 24) as usize);
+    for i in 0..count {
+        let raw: &[u8; RECORD_BYTES] = r.take(RECORD_BYTES)?.try_into().unwrap();
+        let rec = Record::decode(raw);
+        if rec.comp.0 as usize >= comps.len() || rec.kind.0 as usize >= kinds.len() {
+            return Err(TraceError::BadIndex { record: i });
+        }
+        records.push(rec);
+    }
+    Ok(Trace {
+        meta,
+        comps,
+        kinds,
+        dropped,
+        records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{CompId, KindId};
+
+    fn sample() -> Trace {
+        Trace {
+            meta: vec![("spec.workload".into(), "atf".into())],
+            comps: vec!["core0".into(), "vault3".into()],
+            kinds: vec!["tick".into(), "vault.access".into()],
+            dropped: 5,
+            records: vec![
+                Record {
+                    cycle: 10,
+                    comp: CompId(0),
+                    kind: KindId(0),
+                    payload: 1,
+                },
+                Record {
+                    cycle: 11,
+                    comp: CompId(1),
+                    kind: KindId(1),
+                    payload: 0xffff_ffff_ffff,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        assert_eq!(decode(&encode(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut b = encode(&sample());
+        b[0] = b'X';
+        assert_eq!(decode(&b), Err(TraceError::BadMagic));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut b = encode(&sample());
+        b[4] = 99;
+        assert_eq!(decode(&b), Err(TraceError::BadVersion(99)));
+    }
+
+    #[test]
+    fn truncation_reports_offset() {
+        let b = encode(&sample());
+        let cut = &b[..b.len() - 3];
+        match decode(cut) {
+            Err(TraceError::Truncated { offset }) => assert!(offset > 0),
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_record_index_rejected() {
+        let mut t = sample();
+        t.records[1].comp = CompId(9);
+        assert_eq!(decode(&encode(&t)), Err(TraceError::BadIndex { record: 1 }));
+    }
+}

@@ -1,0 +1,120 @@
+//! Chrome `trace_event` JSON export, loadable in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! The export maps the simulator onto the trace-event model as one
+//! process ("pei-sim") with one thread per component: thread metadata
+//! events name each component, and every record becomes a
+//! thread-scoped instant event whose timestamp is the simulated cycle
+//! (the viewer's microsecond axis therefore reads as cycles). Record
+//! payloads and the trace's metadata table travel in `args`, so nothing
+//! captured is lost in export.
+
+use crate::recorder::Trace;
+
+/// Escapes a string for inclusion inside a JSON string literal.
+fn escape(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders a trace as a Chrome `trace_event` JSON array.
+///
+/// One "M" (metadata) event names the process and one names each
+/// component thread; each record becomes an "i" (instant) event with
+/// `ts` = cycle, `tid` = component id, and the payload in `args`.
+/// Trace metadata is attached to the process-name event's `args`.
+pub fn chrome_trace_json(t: &Trace) -> String {
+    // Rough sizing: ~120 bytes per record row.
+    let mut out = String::with_capacity(256 + t.records.len() * 120);
+    out.push_str("[\n");
+
+    // Process metadata, carrying the trace's meta table.
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"pei-sim\"",
+    );
+    for (k, v) in &t.meta {
+        out.push_str(",\"");
+        escape(k, &mut out);
+        out.push_str("\":\"");
+        escape(v, &mut out);
+        out.push('"');
+    }
+    out.push_str("}}");
+
+    // One named thread per component; tid is the interned comp id.
+    for (tid, name) in t.comps.iter().enumerate() {
+        out.push_str(&format!(
+            ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":\""
+        ));
+        escape(name, &mut out);
+        out.push_str("\"}}");
+    }
+
+    for r in &t.records {
+        out.push_str(",\n{\"name\":\"");
+        escape(t.kind_name(r.kind), &mut out);
+        out.push_str(&format!(
+            "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{},\
+             \"args\":{{\"payload\":{}}}}}",
+            r.comp.0, r.cycle, r.payload
+        ));
+    }
+
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use crate::sink::TraceSink;
+
+    #[test]
+    fn export_names_threads_and_orders_records() {
+        let mut rec = Recorder::new();
+        rec.meta("spec.workload", "atf");
+        let c0 = rec.comp("core0");
+        let v = rec.comp("vault1");
+        let k = rec.kind("vault.access");
+        rec.record(7, c0, k, 1);
+        rec.record(9, v, k, 2);
+        let json = chrome_trace_json(&rec.to_trace());
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains("\"name\":\"pei-sim\""));
+        assert!(json.contains("\"spec.workload\":\"atf\""));
+        assert!(json.contains("\"name\":\"core0\""));
+        assert!(json.contains("\"name\":\"vault1\""));
+        assert!(json.contains("\"ts\":7"));
+        assert!(json.contains("\"ts\":9"));
+        assert!(json.trim_end().ends_with(']'));
+        // Every record row carries its payload.
+        assert!(json.contains("\"payload\":1"));
+        assert!(json.contains("\"payload\":2"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut rec = Recorder::new();
+        rec.meta("note", "a\"b\\c\nd");
+        let c = rec.comp("comp\t1");
+        let k = rec.kind("k");
+        rec.record(1, c, k, 0);
+        let json = chrome_trace_json(&rec.to_trace());
+        assert!(json.contains("a\\\"b\\\\c\\nd"));
+        assert!(json.contains("comp\\t1"));
+    }
+}

@@ -1,0 +1,87 @@
+//! The trace record: the unit of capture.
+//!
+//! A record is 20 bytes on disk (see [`crate::format`]): the cycle it
+//! happened, which component it happened at, what kind of event it was,
+//! and one 64-bit payload word (an address, a request id, a sequence
+//! number — whatever best localizes the event; kinds document their
+//! payload meaning at the emission site).
+
+/// Index of an interned component name (e.g. `"core2"`, `"vault13"`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CompId(pub u16);
+
+/// Index of an interned event-kind name (e.g. `"l3.req"`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KindId(pub u16);
+
+/// One captured event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Record {
+    /// Simulated cycle (host clock) the event was captured at.
+    pub cycle: u64,
+    /// The component it belongs to.
+    pub comp: CompId,
+    /// What happened.
+    pub kind: KindId,
+    /// Event-kind-specific 64-bit payload (address, id, ...).
+    pub payload: u64,
+}
+
+/// Encoded size of one record in the `.petr` format, in bytes.
+pub const RECORD_BYTES: usize = 20;
+
+impl Record {
+    /// Appends the little-endian wire form (20 bytes) to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.cycle.to_le_bytes());
+        out.extend_from_slice(&self.comp.0.to_le_bytes());
+        out.extend_from_slice(&self.kind.0.to_le_bytes());
+        out.extend_from_slice(&self.payload.to_le_bytes());
+    }
+
+    /// Decodes one record from exactly [`RECORD_BYTES`] bytes.
+    pub fn decode(bytes: &[u8; RECORD_BYTES]) -> Record {
+        Record {
+            cycle: u64::from_le_bytes(bytes[0..8].try_into().unwrap()),
+            comp: CompId(u16::from_le_bytes(bytes[8..10].try_into().unwrap())),
+            kind: KindId(u16::from_le_bytes(bytes[10..12].try_into().unwrap())),
+            payload: u64::from_le_bytes(bytes[12..20].try_into().unwrap()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let r = Record {
+            cycle: 0xdead_beef_cafe_f00d,
+            comp: CompId(7),
+            kind: KindId(65535),
+            payload: u64::MAX,
+        };
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        assert_eq!(buf.len(), RECORD_BYTES);
+        let back = Record::decode(buf.as_slice().try_into().unwrap());
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn encoding_is_little_endian() {
+        let r = Record {
+            cycle: 1,
+            comp: CompId(0x0102),
+            kind: KindId(0x0304),
+            payload: 2,
+        };
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        assert_eq!(buf[0], 1); // low byte of cycle first
+        assert_eq!(&buf[8..10], &[0x02, 0x01]);
+        assert_eq!(&buf[10..12], &[0x04, 0x03]);
+        assert_eq!(buf[12], 2);
+    }
+}
