@@ -24,6 +24,77 @@ fn bench_event_queue(c: &mut Criterion) {
             black_box(acc)
         })
     });
+    // The simulator's actual pattern: a small pending population of
+    // near-future events advancing through time (hold model), with a
+    // thin far-future tail exercising the calendar queue's overflow
+    // path. This is the number the BinaryHeap → calendar-queue swap is
+    // judged on; the drain-sorted bench above mostly measures bulk
+    // loading.
+    c.bench_function("engine/event_queue_steady_state_64k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut x = 0x9e3779b97f4a7c15u64;
+            // Seed a plausible pending population.
+            for i in 0..48u64 {
+                q.schedule(i % 60, i);
+            }
+            let mut acc = 0u64;
+            let mut popped = 0u64;
+            while let Some((now, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+                popped += 1;
+                if popped >= 65_536 {
+                    break;
+                }
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                // Mostly cache/crossbar/DRAM-scale deltas, one far
+                // event (deep channel backlog) per ~100 pops.
+                q.schedule(now + 1 + x % 60, v);
+                if x.is_multiple_of(101) {
+                    q.schedule(now + 4000 + x % 2000, v);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    // Reference: the same steady-state loop over a plain binary heap
+    // (the pre-calendar-queue implementation), kept as a permanent
+    // side-by-side so the calendar queue's advantage — or a regression
+    // — is visible in any bench run, not only across checkouts.
+    c.bench_function("engine/event_queue_steady_state_64k_heap_ref", |b| {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        b.iter(|| {
+            let mut q: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            let mut x = 0x9e3779b97f4a7c15u64;
+            for i in 0..48u64 {
+                seq += 1;
+                q.push(Reverse((i % 60, seq, i)));
+            }
+            let mut acc = 0u64;
+            let mut popped = 0u64;
+            while let Some(Reverse((now, _, v))) = q.pop() {
+                acc = acc.wrapping_add(v);
+                popped += 1;
+                if popped >= 65_536 {
+                    break;
+                }
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                seq += 1;
+                q.push(Reverse((now + 1 + x % 60, seq, v)));
+                if x.is_multiple_of(101) {
+                    seq += 1;
+                    q.push(Reverse((now + 4000 + x % 2000, seq, v)));
+                }
+            }
+            black_box(acc)
+        })
+    });
 }
 
 fn bench_cache_array(c: &mut Criterion) {

@@ -29,7 +29,10 @@ pub struct BwChannel {
     latency: Cycle,
     /// Cycle at which the channel becomes free, in 1/4096ths of a cycle to
     /// keep fractional serialization near-exact without floats in state.
-    free_at_fx: u64,
+    /// Held as u128: the fixed-point product `now * 4096` would wrap a
+    /// u64 once `now` exceeds ~2^52 host cycles, silently corrupting
+    /// delivery times on very long runs.
+    free_at_fx: u128,
     bytes_carried: u64,
 }
 
@@ -55,11 +58,11 @@ impl BwChannel {
     /// Enqueues a transfer of `bytes` arriving at cycle `now` and returns
     /// the cycle at which it is fully delivered at the far end.
     pub fn transfer(&mut self, now: Cycle, bytes: u64) -> Cycle {
-        let start = self.free_at_fx.max(now * FX);
+        let start = self.free_at_fx.max(now as u128 * FX as u128);
         let dur = ((bytes as f64 / self.bytes_per_cycle) * FX as f64).ceil() as u64;
-        self.free_at_fx = start + dur;
+        self.free_at_fx = start + dur as u128;
         self.bytes_carried += bytes;
-        self.free_at_fx.div_ceil(FX) + self.latency
+        self.free_at_fx.div_ceil(FX as u128) as Cycle + self.latency
     }
 
     /// Total bytes ever carried (for bandwidth-consumption statistics).
@@ -69,7 +72,7 @@ impl BwChannel {
 
     /// The earliest cycle a new transfer could begin serializing.
     pub fn free_at(&self) -> Cycle {
-        self.free_at_fx.div_ceil(FX)
+        self.free_at_fx.div_ceil(FX as u128) as Cycle
     }
 }
 
@@ -185,6 +188,19 @@ mod tests {
     fn channel_latency_added_after_serialization() {
         let mut c = BwChannel::new(16.0, 10);
         assert_eq!(c.transfer(0, 16), 11);
+    }
+
+    #[test]
+    fn channel_exact_beyond_2_52_cycles() {
+        // Regression: `now * 4096` wrapped u64 once `now` passed ~2^52,
+        // which made late-run transfers start "in the past". The fixed-
+        // point accumulator is u128 now; delivery times stay exact.
+        let mut c = BwChannel::new(16.0, 4);
+        let now = 1u64 << 53;
+        assert_eq!(c.transfer(now, 64), now + 8); // 4 serialize + 4 latency
+        assert_eq!(c.transfer(now, 64), now + 12); // queued behind the first
+        assert_eq!(c.free_at(), now + 8);
+        assert_eq!(c.bytes_carried(), 128);
     }
 
     #[test]

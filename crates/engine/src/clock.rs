@@ -65,10 +65,28 @@ impl ClockDomain {
     /// Converts a duration in nanoseconds into host cycles, rounded up to a
     /// whole number of this domain's cycles (DRAM timing parameters are
     /// specified in ns).
+    ///
+    /// Contract: a zero duration is zero cycles; any positive duration,
+    /// however small, rounds up to at least one full domain cycle —
+    /// sub-resolution timing parameters cost a whole edge, they are
+    /// never silently dropped. (A previous version also inflated an
+    /// exact 0.0 ns to a full cycle.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is negative or NaN.
     pub fn ns_to_cycles(&self, ns: f64) -> Cycle {
+        assert!(
+            ns >= 0.0,
+            "duration must be a non-negative number of ns, got {ns}"
+        );
+        if ns == 0.0 {
+            return 0;
+        }
         let host_cycles = ns * self.host_ghz;
+        // ceil of a positive value is >= 1, so this never yields zero.
         let domain_cycles = (host_cycles / self.divider as f64).ceil() as u64;
-        domain_cycles.max(1) * self.divider
+        domain_cycles * self.divider
     }
 
     /// Converts a bandwidth in GB/s into bytes per host cycle.
@@ -99,6 +117,23 @@ mod tests {
         // 2-cycle grid = 56.
         let mem = ClockDomain::new(2, 4.0);
         assert_eq!(mem.ns_to_cycles(13.75), 56);
+    }
+
+    #[test]
+    fn sub_resolution_durations() {
+        let mem = ClockDomain::new(2, 4.0);
+        // Exactly zero is zero cycles, not a phantom full cycle.
+        assert_eq!(mem.ns_to_cycles(0.0), 0);
+        // 0.1 ns = 0.4 host cycles: rounds up to one 2-cycle domain edge.
+        assert_eq!(mem.ns_to_cycles(0.1), 2);
+        // Any positive duration costs at least one domain cycle.
+        assert_eq!(mem.ns_to_cycles(1e-9), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_rejected() {
+        ClockDomain::new(2, 4.0).ns_to_cycles(-1.0);
     }
 
     #[test]

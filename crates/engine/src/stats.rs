@@ -54,7 +54,16 @@ impl StatsReport {
             .unwrap_or_else(|| panic!("statistic `{name}` was not recorded"))
     }
 
-    /// Sum of all statistics whose name starts with `prefix`.
+    /// Sum of all statistics under the dot-separated segment path
+    /// `prefix`.
+    ///
+    /// Matching is segment-aware: a key matches if it equals `prefix`
+    /// or extends it at a `.` boundary, so `sum_prefix("vault.1")` sums
+    /// `vault.1` and `vault.1.*` but not `vault.10.*` — indexed
+    /// component names never alias, however many instances exist. A
+    /// prefix ending in `.` selects strict children only (raw prefix
+    /// match; `sum_prefix("vault.1.")` excludes a bare `vault.1` key),
+    /// and the empty prefix sums everything.
     pub fn sum_prefix(&self, prefix: &str) -> f64 {
         // Borrowed range bound: `BTreeMap<String, _>` ranges accept any
         // `Q: Ord` that `String` borrows to, so `&str` works without
@@ -65,6 +74,12 @@ impl StatsReport {
                 std::ops::Bound::Unbounded,
             ))
             .take_while(|(k, _)| k.starts_with(prefix))
+            .filter(|(k, _)| {
+                prefix.is_empty()
+                    || prefix.ends_with('.')
+                    || k.len() == prefix.len()
+                    || k.as_bytes()[prefix.len()] == b'.'
+            })
             .map(|(_, v)| v)
             .sum()
     }
@@ -180,8 +195,9 @@ mod tests {
 
     #[test]
     fn prefix_sum_boundaries() {
-        // `l3.` must not pick up `l3x...` (which sorts after `l3.`) nor
-        // `l3` itself; the prefix is matched literally, not as a word.
+        // `l3.` selects strict children; `l3` additionally includes the
+        // bare `l3` key; neither picks up `l3x.*`, which merely shares
+        // the leading characters.
         let mut s = StatsReport::new();
         s.add("l3", 1.0);
         s.add("l3.hits", 2.0);
@@ -189,8 +205,25 @@ mod tests {
         s.add("l3x.hits", 8.0);
         s.add("l4.hits", 16.0);
         assert_eq!(s.sum_prefix("l3."), 6.0);
-        assert_eq!(s.sum_prefix("l3"), 15.0); // `l3`, `l3.*`, and `l3x.*`
+        assert_eq!(s.sum_prefix("l3"), 7.0); // `l3` and `l3.*`, not `l3x.*`
         assert_eq!(s.sum_prefix(""), 31.0); // empty prefix sums everything
+    }
+
+    #[test]
+    fn prefix_sum_does_not_alias_indexed_components() {
+        // Regression: with ten or more instances, raw prefix matching
+        // made `vault.1` also sum `vault.10.*` through `vault.19.*`.
+        let mut s = StatsReport::new();
+        s.add("vault.1.reads", 1.0);
+        s.add("vault.1.writes", 2.0);
+        s.add("vault.10.reads", 4.0);
+        s.add("vault.19.reads", 8.0);
+        s.add("vault.2.reads", 16.0);
+        assert_eq!(s.sum_prefix("vault.1"), 3.0);
+        assert_eq!(s.sum_prefix("vault.1."), 3.0);
+        assert_eq!(s.sum_prefix("vault.10"), 4.0);
+        assert_eq!(s.sum_prefix("vault"), 31.0);
+        assert_eq!(s.sum_prefix("vault."), 31.0);
     }
 
     #[test]

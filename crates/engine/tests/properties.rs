@@ -70,6 +70,70 @@ proptest! {
         prop_assert!(model.values().all(|f| f.is_empty()), "events lost in the queue");
     }
 
+    /// Differential test: the calendar queue must agree, pop for pop,
+    /// with a plainly-correct ordered-map model under arbitrary
+    /// interleavings of schedules and pops. Times are drawn from three
+    /// bands — inside the window, just around the horizon boundary, and
+    /// far beyond it (including past 2^53) — so bucket wraparound, the
+    /// overflow refill path, and the window-jump path all get exercised,
+    /// as do schedules issued mid-drain and schedules below the window
+    /// base after it has advanced.
+    #[test]
+    fn calendar_queue_matches_ordered_model(
+        ops in proptest::collection::vec(
+            (
+                prop_oneof![
+                    0u64..20,                          // in-window
+                    6u64..11,                          // horizon boundary (window = 8)
+                    100u64..140,                       // beyond horizon
+                    (1u64 << 53)..(1u64 << 53) + 4,    // far beyond, past f64 precision
+                ],
+                0u32..5,
+            ),
+            1..400,
+        ),
+    ) {
+        use std::collections::BTreeMap;
+        // Window of 8 cycles so a 400-op sequence wraps it many times.
+        let mut q = pei_engine::EventQueue::with_horizon(8);
+        // Reference model: (time, seq) -> id in an ordered map; the
+        // front entry is by definition the correct next pop.
+        let mut model: BTreeMap<(u64, u64), usize> = BTreeMap::new();
+        let mut next_id = 0usize;
+        let mut seq = 0u64;
+        for &(t, kind) in &ops {
+            if kind <= 1 {
+                seq += 1;
+                q.schedule(t, next_id);
+                model.insert((t, seq), next_id);
+                next_id += 1;
+            } else if let Some((pt, id)) = q.pop() {
+                let (&(mt, mseq), &mid) = model.iter().next()
+                    .expect("queue produced an event the model does not have");
+                prop_assert_eq!((pt, id), (mt, mid), "pop diverged from model");
+                model.remove(&(mt, mseq));
+                if kind == 4 {
+                    // Mid-drain schedule at the cycle just popped.
+                    seq += 1;
+                    q.schedule(pt, next_id);
+                    model.insert((pt, seq), next_id);
+                    next_id += 1;
+                }
+            } else {
+                prop_assert!(model.is_empty(), "queue empty, model not");
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(q.peek_time(), model.keys().next().map(|&(t, _)| t));
+        }
+        while let Some((pt, id)) = q.pop() {
+            let (&(mt, mseq), &mid) = model.iter().next()
+                .expect("drain produced an event the model does not have");
+            prop_assert_eq!((pt, id), (mt, mid), "drain diverged from model");
+            model.remove(&(mt, mseq));
+        }
+        prop_assert!(model.is_empty(), "events lost in the queue");
+    }
+
     /// Channel deliveries are monotone in submission order and never
     /// faster than serialization allows.
     #[test]

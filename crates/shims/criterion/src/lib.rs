@@ -64,12 +64,35 @@ impl Bencher {
 /// same name).
 #[derive(Debug, Default)]
 pub struct Criterion {
-    _private: (),
+    filter: Option<String>,
 }
 
 impl Criterion {
+    /// Restricts subsequent [`bench_function`](Self::bench_function)
+    /// calls to names containing `filter` — the same substring
+    /// semantics as `cargo bench -- <filter>`, which
+    /// [`criterion_main!`] wires up from the command line.
+    pub fn with_filter(mut self, filter: impl Into<String>) -> Self {
+        self.filter = Some(filter.into());
+        self
+    }
+
+    /// Reads a benchmark name filter from the process arguments
+    /// (ignoring `--`-style flags, which libtest also receives).
+    pub fn default_from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+
     /// Runs one named benchmark and prints its mean iteration time.
+    /// Skipped silently when a filter is set and `name` does not
+    /// contain it.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
         let mut b = Bencher {
             iters: 0,
             elapsed: Duration::ZERO,
@@ -91,7 +114,7 @@ impl Criterion {
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
         pub fn $group() {
-            let mut c = $crate::Criterion::default();
+            let mut c = $crate::Criterion::default_from_args();
             $($target(&mut c);)+
         }
     };
@@ -110,6 +133,20 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn filter_skips_nonmatching_benchmarks() {
+        let mut hits = 0u64;
+        Criterion::default()
+            .with_filter("queue")
+            .bench_function("mem/cache_probe", |b| {
+                b.iter(|| {
+                    hits += 1;
+                    black_box(hits)
+                })
+            });
+        assert_eq!(hits, 0, "filtered-out benchmark must not run");
+    }
 
     #[test]
     fn bench_function_runs_body() {

@@ -118,6 +118,24 @@ impl MachineConfig {
     pub fn total_vaults(&self) -> usize {
         self.hmc.total_vaults()
     }
+
+    /// Dominant event-scheduling horizon in host cycles: how far ahead
+    /// of the dispatched cycle the bulk of events land. This sizes the
+    /// calendar queue's near-future window (`EventQueue::with_horizon`);
+    /// it is a performance hint only — events past it (deep channel
+    /// backlogs under congestion) correctly take the overflow path.
+    ///
+    /// The bound is one full DRAM service worst case — a refresh
+    /// (`t_rfc`) stacked on an activate/read/precharge sequence — or
+    /// the full off-chip chain traversal, whichever is larger, plus the
+    /// controller pipeline.
+    pub fn event_horizon(&self) -> Cycle {
+        let t = &self.hmc.timing;
+        let dram_service = t.t_rcd + t.t_cl + t.t_rp + t.t_bl;
+        let refresh = self.hmc.refresh.map_or(0, |r| r.t_rfc);
+        let chain = self.hmc.link_latency + self.hmc.hop_latency * self.hmc.cubes as Cycle;
+        (dram_service + refresh).max(chain) + self.ctrl_latency
+    }
 }
 
 #[cfg(test)]

@@ -158,7 +158,10 @@ impl System {
             store.remap_pages(|vpn| cfg.page_map.translate_page(vpn));
         }
         System {
-            queue: EventQueue::new(),
+            // Size the calendar queue's near-future window for this
+            // machine's dominant scheduling deltas; far-tail events
+            // (congested-channel deliveries) take the overflow path.
+            queue: EventQueue::with_horizon(cfg.event_horizon()),
             cores: (0..n)
                 .map(|i| {
                     let mut c = Core::new(CoreId(i as u16), cfg.core_config());
