@@ -95,7 +95,7 @@ fn main() {
         })
         .collect();
 
-    let results = batch.run(opts.jobs);
+    let results = batch.run_with(&opts);
 
     print_title("Ablation 0 — DRAM policies (PR large, PIM-Only, cycles vs default)");
     print_cols("variant", &["cycles_norm", "row_hit%", "refresh_delays"]);

@@ -39,7 +39,7 @@ fn main() {
             ]
         })
         .collect();
-    let results = batch.run(opts.jobs);
+    let results = batch.run_with(&opts);
 
     print_title("Fig. 10 — balanced dispatch on SC / SVM (large), normalized to PIM-Only");
     print_cols(

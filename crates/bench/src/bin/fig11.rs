@@ -49,7 +49,7 @@ fn main() {
             (by_entries, by_width)
         })
         .collect();
-    let results = batch.run(opts.jobs);
+    let results = batch.run_with(&opts);
 
     print_title("Fig. 11a — operand-buffer size sweep (speedup vs 4 entries)");
     print_cols("workload", &["1", "2", "4", "8", "16"]);

@@ -37,7 +37,7 @@ fn main() {
             cells.push((size, w, grid));
         }
     }
-    let results = batch.run(opts.jobs);
+    let results = batch.run_with(&opts);
 
     for &size in &InputSize::ALL {
         print_title(&format!(

@@ -40,7 +40,7 @@ fn main() {
             ]
         })
         .collect();
-    let results = batch.run(opts.jobs);
+    let results = batch.run_with(&opts);
 
     print_title("Fig. 2 — PageRank speedup of memory-side atomic addition vs host-side");
     print_cols("graph", &["vertices", "host_cyc", "pim_cyc", "speedup"]);

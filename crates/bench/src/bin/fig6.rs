@@ -35,7 +35,7 @@ fn main() {
             cells.push((size, w, [ideal, host, pim, la]));
         }
     }
-    let results = batch.run(opts.jobs);
+    let results = batch.run_with(&opts);
 
     for size in InputSize::ALL {
         print_title(&format!("Fig. 6 ({size}) — speedup over Ideal-Host"));

@@ -29,7 +29,7 @@ fn main() {
             cells.push((size, w, [ideal, host, pim]));
         }
     }
-    let results = batch.run(opts.jobs);
+    let results = batch.run_with(&opts);
 
     for size in InputSize::ALL {
         print_title(&format!(

@@ -43,7 +43,7 @@ fn main() {
             ]
         })
         .collect();
-    let results = batch.run(opts.jobs);
+    let results = batch.run_with(&opts);
 
     print_title("Fig. 8 — PageRank vs graph size (normalized to Host-Only)");
     print_cols("graph", &["host-only", "pim-only", "loc-aware", "pim%"]);

@@ -67,7 +67,7 @@ fn main() {
             ]
         })
         .collect();
-    let results = batch.run(opts.jobs);
+    let results = batch.run_with(&opts);
 
     print_title("Fig. 9 — multiprogrammed mixes (sum-of-IPCs vs Host-Only)");
     print_cols("mix", &["loc-aware", "pim-only"]);

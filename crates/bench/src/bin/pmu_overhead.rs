@@ -41,7 +41,7 @@ fn main() {
             ]
         })
         .collect();
-    let results = batch.run(opts.jobs);
+    let results = batch.run_with(&opts);
 
     print_title("§7.6 — speedup from idealizing PMU structures (Locality-Aware, medium inputs)");
     print_cols("workload", &["ideal-dir", "ideal-mon", "ideal-both"]);

@@ -9,7 +9,7 @@
 //! ```text
 //! cargo run -p pei-bench --release --bin sim_throughput -- \
 //!     [--scale quick|full] [--seed <n>] [--repeat <n>] [--label <s>] [--out <path>] \
-//!     [--append] [--traced]
+//!     [--append] [--traced] [--checked]
 //! ```
 //!
 //! Runs are strictly serial (`jobs` is fixed at 1) so wall-clock time
@@ -23,6 +23,12 @@
 //! throughput delta against an untraced run isolates the cost of
 //! tracing itself (EXPERIMENTS.md §"Tracing overhead"). Simulated
 //! results are identical either way — tracing observes, never steers.
+//!
+//! `--checked` enables checked mode (`pei_system::check`) on every
+//! measured run: the invariant auditors sweep the whole machine at the
+//! default interval, so the delta against an unchecked run measures the
+//! sanitizer's overhead (EXPERIMENTS.md §"Checked-mode overhead").
+//! Simulated results are likewise identical — sweeps observe only.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -61,6 +67,7 @@ struct Args {
     out: String,
     append: bool,
     traced: bool,
+    checked: bool,
 }
 
 fn parse_args() -> Args {
@@ -73,6 +80,7 @@ fn parse_args() -> Args {
     let mut out = String::from("BENCH_sim_throughput.json");
     let mut append = false;
     let mut traced = false;
+    let mut checked = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -103,8 +111,9 @@ fn parse_args() -> Args {
             "--out" => out = args.next().expect("--out needs a path"),
             "--append" => append = true,
             "--traced" => traced = true,
+            "--checked" => checked = true,
             other => panic!(
-                "unknown argument `{other}` (--scale, --seed, --repeat, --label, --out, --append, --traced)"
+                "unknown argument `{other}` (--scale, --seed, --repeat, --label, --out, --append, --traced, --checked)"
             ),
         }
     }
@@ -115,6 +124,7 @@ fn parse_args() -> Args {
         out,
         append,
         traced,
+        checked,
     }
 }
 
@@ -134,8 +144,8 @@ fn record_json(args: &Args, runs: &[Measured]) -> String {
     let mut s = String::new();
     let _ = write!(
         s,
-        "  {{\n    \"label\": \"{}\",\n    \"scale\": \"{scale}\",\n    \"seed\": {},\n    \"traced\": {},\n    \"runs\": [",
-        args.label, args.opts.seed, args.traced
+        "  {{\n    \"label\": \"{}\",\n    \"scale\": \"{scale}\",\n    \"seed\": {},\n    \"traced\": {},\n    \"checked\": {},\n    \"runs\": [",
+        args.label, args.opts.seed, args.traced, args.checked
     );
     let (mut ev_tot, mut cy_tot, mut wall_tot) = (0u64, 0u64, 0f64);
     for (i, r) in runs.iter().enumerate() {
@@ -172,12 +182,13 @@ fn main() {
         "workload", "policy", "events", "sim_cycles", "wall_s", "events/s", "sim_cycles/s"
     );
     for (w, policy) in MIX {
-        let spec = RunSpec::sized(
+        let mut spec = RunSpec::sized(
             args.opts.machine(policy),
             args.opts.workload_params(),
             w,
             InputSize::Medium,
         );
+        spec.check = args.checked;
         // Best-of-N wall time: simulated results are identical across
         // repeats (determinism contract), so the minimum isolates the
         // simulator's speed from scheduler noise on a shared host.

@@ -11,7 +11,13 @@
 //! * `--seed <n>` — RNG seed;
 //! * `--jobs <n>` — worker threads for the experiment grid (default:
 //!   available parallelism). Tables are byte-identical for every value —
-//!   see [`runner`] and the determinism contract in EXPERIMENTS.md.
+//!   see [`runner`] and the determinism contract in EXPERIMENTS.md;
+//! * `--check` — checked mode: every run sweeps the simulator's
+//!   cross-component invariant auditors (MESI, MSHR leaks, flit/credit
+//!   conservation, operand accounting, event population; see
+//!   `pei_system::check` and DESIGN.md §9), and failed cells surface
+//!   structured failure reports on stderr while sibling cells keep
+//!   running.
 //!
 //! Binaries describe their grid as [`runner::RunSpec`]s collected into a
 //! [`runner::Batch`], run it once, and print from the ordered results.
@@ -73,6 +79,11 @@ pub struct ExpOptions {
     /// If set, also capture the binary's representative cell as an
     /// event trace (`.petr`, see [`tracecap`]) at this path.
     pub trace: Option<std::path::PathBuf>,
+    /// Checked mode: every run sweeps the cross-component invariant
+    /// auditors (`pei_system::check`) and failed cells surface
+    /// structured reports instead of panicking. Results are
+    /// byte-identical to unchecked runs unless a checker fires.
+    pub check: bool,
 }
 
 impl Default for ExpOptions {
@@ -85,6 +96,7 @@ impl Default for ExpOptions {
             seed: 0x5eed,
             jobs: default_jobs(),
             trace: None,
+            check: false,
         }
     }
 }
@@ -131,8 +143,11 @@ impl ExpOptions {
                 "--trace" => {
                     opts.trace = Some(args.next().expect("--trace needs a path").into());
                 }
+                "--check" => opts.check = true,
                 other => {
-                    panic!("unknown argument `{other}` (--scale, --paper, --seed, --jobs, --trace)")
+                    panic!(
+                        "unknown argument `{other}` (--scale, --paper, --seed, --jobs, --trace, --check)"
+                    )
                 }
             }
         }
@@ -195,6 +210,9 @@ pub fn run_trace(
     let cfg = opts.machine(policy);
     let mut sys = System::new(cfg, store);
     sys.add_workload(trace, (0..cfg.cores).collect());
+    if opts.check {
+        sys.enable_checks(pei_system::CheckConfig::default());
+    }
     sys.run(CYCLE_LIMIT)
 }
 
@@ -239,6 +257,9 @@ pub fn run_ideal_host(opts: &ExpOptions, workload: Workload, size: InputSize) ->
     let cfg = opts.machine(DispatchPolicy::HostOnly).ideal_host();
     let mut sys = System::new(cfg, store);
     sys.add_workload(trace, (0..cfg.cores).collect());
+    if opts.check {
+        sys.enable_checks(pei_system::CheckConfig::default());
+    }
     sys.run(CYCLE_LIMIT)
 }
 

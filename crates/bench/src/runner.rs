@@ -50,8 +50,8 @@
 //! assert!(results[host].cycles > 0 && results[pim].cycles > 0);
 //! ```
 
-use crate::CYCLE_LIMIT;
-use pei_system::{MachineConfig, RunResult, System};
+use crate::{ExpOptions, CYCLE_LIMIT};
+use pei_system::{CheckConfig, FaultPlan, MachineConfig, RunResult, System};
 use pei_workloads::{cache, InputSize, Workload, WorkloadParams};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -107,8 +107,17 @@ pub struct RunSpec {
     pub params: WorkloadParams,
     /// What to simulate.
     pub input: SpecInput,
-    /// Upper bound on simulated cycles.
+    /// Upper bound on simulated cycles. A run that exceeds it reports a
+    /// `CycleLimit` outcome rather than panicking; the batch runner
+    /// surfaces the failure and keeps sibling cells running.
     pub max_cycles: u64,
+    /// Checked mode: sweep the invariant auditors during the run (see
+    /// `pei_system::check`). Off by default; [`Batch::run_with`] sets it
+    /// from `--check`.
+    pub check: bool,
+    /// Deterministic fault injection for this cell (test harness and
+    /// checked-mode validation; `None` in every real experiment).
+    pub fault: Option<FaultPlan>,
 }
 
 impl RunSpec {
@@ -124,6 +133,8 @@ impl RunSpec {
             params,
             input: SpecInput::Sized { workload, size },
             max_cycles: CYCLE_LIMIT,
+            check: false,
+            fault: None,
         }
     }
 
@@ -146,6 +157,8 @@ impl RunSpec {
                 graph_seed,
             },
             max_cycles: CYCLE_LIMIT,
+            check: false,
+            fault: None,
         }
     }
 
@@ -163,6 +176,8 @@ impl RunSpec {
             params,
             input: SpecInput::Mix { a, b, params_b },
             max_cycles: CYCLE_LIMIT,
+            check: false,
+            fault: None,
         }
     }
 
@@ -204,10 +219,23 @@ impl RunSpec {
         }
     }
 
+    /// Applies the spec's fault plan and checked-mode flag to a freshly
+    /// built machine (fault injection first, so the auditors observe
+    /// the broken state).
+    fn arm(&self, sys: &mut System) {
+        if let Some(plan) = &self.fault {
+            sys.inject_faults(plan);
+        }
+        if self.check {
+            sys.enable_checks(CheckConfig::default());
+        }
+    }
+
     /// Executes this cell to completion. Pure in the spec: equal specs
     /// produce equal results, on any thread, in any order.
     pub fn run(&self) -> RunResult {
         let mut sys = self.build();
+        self.arm(&mut sys);
         sys.run(self.max_cycles)
     }
 
@@ -221,9 +249,25 @@ impl RunSpec {
     ) -> (RunResult, Box<dyn pei_trace::TraceSink>) {
         let mut sys = self.build();
         sys.attach_tracer(sink);
+        self.arm(&mut sys);
         let result = sys.run(self.max_cycles);
         let sink = sys.detach_tracer().expect("tracer was just attached");
         (result, sink)
+    }
+
+    /// One-line description for failure summaries.
+    fn describe(&self) -> String {
+        let input = match &self.input {
+            SpecInput::Sized { workload, size } => format!("{workload:?}/{size:?}"),
+            SpecInput::OnGraph {
+                workload, vertices, ..
+            } => format!("{workload:?}/graph{vertices}"),
+            SpecInput::Mix { a, b, .. } => format!("{:?}+{:?}", a.0, b.0),
+        };
+        format!(
+            "{input} on {:?} (seed {})",
+            self.cfg.policy, self.params.seed
+        )
     }
 }
 
@@ -266,6 +310,19 @@ impl Batch {
     pub fn run(self, jobs: usize) -> Vec<RunResult> {
         run_specs(&self.specs, jobs)
     }
+
+    /// Like [`run`](Batch::run), but driven by the shared command-line
+    /// options: `--jobs` picks the worker count and `--check` turns on
+    /// checked mode for every cell. The one-line change that gives a
+    /// figure binary the full sanitizer surface.
+    pub fn run_with(mut self, opts: &ExpOptions) -> Vec<RunResult> {
+        if opts.check {
+            for spec in &mut self.specs {
+                spec.check = true;
+            }
+        }
+        run_specs(&self.specs, opts.jobs)
+    }
 }
 
 /// Runs `specs` on up to `jobs` worker threads, returning results in
@@ -273,36 +330,68 @@ impl Batch {
 /// each claimed cell writes its result into its own slot, so the output
 /// is a pure function of `specs` for every `jobs >= 1`.
 ///
+/// A cell that stalls, hits its cycle limit, or fails an invariant
+/// check does **not** take the batch down: its failure outcome lands in
+/// its slot like any result, sibling cells keep running, and a summary
+/// of every failed cell (spec description plus its
+/// [`pei_system::FailureReport`]) goes to stderr before this returns.
+///
 /// # Panics
 ///
 /// Panics if `jobs == 0`, or propagates the panic of any failed cell.
 pub fn run_specs(specs: &[RunSpec], jobs: usize) -> Vec<RunResult> {
     assert!(jobs > 0, "--jobs must be at least 1");
     let workers = jobs.min(specs.len());
-    if workers <= 1 {
-        return specs.iter().map(RunSpec::run).collect();
-    }
+    let results: Vec<RunResult> = if workers <= 1 {
+        specs.iter().map(RunSpec::run).collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RunResult>>> = specs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(i) else { break };
+                    let result = spec.run();
+                    *slots[i].lock().unwrap() = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("worker panicked; result slot poisoned")
+                    .expect("every spec gets exactly one result")
+            })
+            .collect()
+    };
+    report_failures(specs, &results);
+    results
+}
 
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<RunResult>>> = specs.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(spec) = specs.get(i) else { break };
-                let result = spec.run();
-                *slots[i].lock().unwrap() = Some(result);
-            });
+/// Prints each failed cell's spec and failure report to stderr; silent
+/// when every cell completed.
+fn report_failures(specs: &[RunSpec], results: &[RunResult]) {
+    for (spec, result) in specs.iter().zip(results) {
+        let Some(report) = result.outcome.report() else {
+            continue;
+        };
+        eprintln!(
+            "warning: cell failed: {}: {}",
+            spec.describe(),
+            report.summary()
+        );
+        for v in &report.violations {
+            eprintln!("  {v}");
         }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("worker panicked; result slot poisoned")
-                .expect("every spec gets exactly one result")
-        })
-        .collect()
+        if !report.diagnosis.is_empty() {
+            eprintln!("  diagnosis: {}", report.diagnosis.trim_end());
+        }
+        for (name, n) in &report.occupancies {
+            eprintln!("  {name} = {n}");
+        }
+    }
 }
 
 #[cfg(test)]

@@ -111,6 +111,12 @@ pub struct HostPcu {
     cfg: PcuConfig,
     compute: OccupancyPool,
     tasks: HashMap<ReqId, HostTask>,
+    // Occupied operand-buffer entries. Smaller than `tasks.len()`:
+    // memory-dispatched PEIs hand their entry off to the memory side
+    // (on_dispatched_mem) but stay in `tasks` until the result returns.
+    // Mirrors the core's credit window, so it can never legitimately
+    // exceed `cfg.operand_entries` (the invariant-checker bound).
+    occupied: usize,
     next_local: u64,
     counters: Counters,
     c: HostPcuCounters,
@@ -142,6 +148,7 @@ impl HostPcu {
             cfg,
             compute: OccupancyPool::new(cfg.exec_width),
             tasks: HashMap::new(),
+            occupied: 0,
             next_local: 0,
             counters,
             c,
@@ -160,6 +167,7 @@ impl HostPcu {
         out: &mut Outbox<HostPcuOut>,
     ) -> ReqId {
         self.next_local += 1;
+        self.occupied += 1;
         let id = ReqId::tagged(ns::HOST_PCU, self.core.0, self.next_local);
         self.tasks.insert(
             id,
@@ -203,6 +211,7 @@ impl HostPcu {
         out: &mut Outbox<HostPcuOut>,
     ) {
         let task = self.tasks.remove(&id).expect("unknown host PEI");
+        self.occupied -= 1;
         self.counters.inc(self.c.host_execs);
         let start = self.compute.reserve(now, ops::host_latency(task.op));
         let mut done = start + ops::host_latency(task.op);
@@ -226,6 +235,7 @@ impl HostPcu {
     /// handed to the PMU/memory side, freeing the core's credit now.
     pub fn on_dispatched_mem(&mut self, now: Cycle, id: ReqId, out: &mut Outbox<HostPcuOut>) {
         let task = self.tasks.get(&id).expect("unknown host PEI");
+        self.occupied -= 1;
         out.push(HostPcuOut::CreditToCore {
             seq: task.seq,
             at: now + self.cfg.mmreg_latency,
@@ -253,6 +263,20 @@ impl HostPcu {
     /// In-flight PEIs owned by this PCU.
     pub fn in_flight(&self) -> usize {
         self.tasks.len()
+    }
+
+    /// Occupied operand-buffer entries. Bounded by the core's credit
+    /// window (`operand_entries`) — the invariant the `pcu` checker
+    /// audits. Unlike [`in_flight`](Self::in_flight), this excludes PEIs
+    /// whose entry was handed to the memory side at dispatch.
+    pub fn occupied(&self) -> usize {
+        self.occupied
+    }
+
+    /// Fault-injection hook: claims a phantom operand-buffer entry that
+    /// is never released, so the `pcu` checker's host-side bound trips.
+    pub fn fault_overfill(&mut self) {
+        self.occupied += 1;
     }
 
     /// `(host-executed, memory-executed)` PEI counts.
@@ -360,6 +384,36 @@ impl MemPcu {
     fn fresh_id(&mut self) -> ReqId {
         self.next_local += 1;
         ReqId::tagged(ns::MEM_PCU, self.vault_flat, self.next_local)
+    }
+
+    /// Occupied operand-buffer entries (invariant-checker access).
+    pub fn in_service(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Operand-buffer capacity (invariant-checker access).
+    pub fn operand_capacity(&self) -> usize {
+        self.cfg.operand_entries
+    }
+
+    /// Fault hook: stuffs a phantom task into the operand buffer,
+    /// bypassing admission control — the overflow a lost credit or a
+    /// double-started command would produce. The phantom never
+    /// completes; it exists to trip the operand-accounting checker.
+    pub fn fault_overfill(&mut self) {
+        let id = self.fresh_id();
+        self.tasks.insert(
+            id,
+            MemTask {
+                cmd: PimCmd {
+                    id,
+                    target: Addr(0),
+                    op: PimOpKind::IncU64,
+                    input: OperandValue::None,
+                },
+                wrote: false,
+            },
+        );
     }
 
     /// Accepts a PIM command from the off-chip link. If the operand buffer

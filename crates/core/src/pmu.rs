@@ -444,6 +444,23 @@ impl Pmu {
         self.txns.len()
     }
 
+    /// PEIs holding or awaiting a PIM-directory reader-writer lock.
+    /// Registration and lock acquisition are atomic within one PMU
+    /// handler call (as are completion and release), so between events
+    /// this equals [`in_flight`](Self::in_flight) — the invariant
+    /// pei-system's checked mode sweeps.
+    pub fn dir_in_flight(&self) -> usize {
+        self.dir.in_flight()
+    }
+
+    /// Fault hook: acquires a directory writer lock on `block` under a
+    /// synthetic PEI id the PMU never registered and will never release —
+    /// the directory's lock population now disagrees with the PEI
+    /// transaction table, validating the directory-accounting checker.
+    pub fn fault_leak_dir_lock(&mut self, block: BlockAddr) {
+        let _ = self.dir.acquire(ReqId(u64::MAX), block, true);
+    }
+
     /// Labels the current counter values (including the locality
     /// monitor's) as the end of phase `label` (see `Counters::snapshot`).
     pub fn snapshot_phase(&mut self, label: &'static str) {

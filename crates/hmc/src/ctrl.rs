@@ -169,6 +169,7 @@ struct CtrlCounters {
     req_flits: CounterId,
     res_flits: CounterId,
     reads: CounterId,
+    read_resps: CounterId,
     writes: CounterId,
     pims: CounterId,
 }
@@ -179,6 +180,7 @@ impl CtrlCounters {
             req_flits: counters.register("req_flits"),
             res_flits: counters.register("res_flits"),
             reads: counters.register("reads"),
+            read_resps: counters.register("read_resps"),
             writes: counters.register("writes"),
             pims: counters.register("pim_cmds"),
         }
@@ -272,6 +274,7 @@ impl HmcController {
     pub fn handle_mem_side(&mut self, now: Cycle, input: MemSideIn, out: &mut Outbox<CtrlOut>) {
         match input {
             MemSideIn::ReadDone { id, block, cube } => {
+                self.counters.inc(self.c.read_resps);
                 self.pending_reads = self.pending_reads.saturating_sub(1);
                 let at = self.send_res(now, PacketKind::ReadResp, cube);
                 out.push(CtrlOut::ReadResp { id, block, at });
@@ -309,6 +312,25 @@ impl HmcController {
     /// back (deadlock diagnostics).
     pub fn pending_reads(&self) -> u64 {
         self.pending_reads
+    }
+
+    /// Read-credit conservation view: `(reads issued, read responses
+    /// returned, reads pending)`. In a consistent controller
+    /// `issued == returned + pending` at every instant — the invariant
+    /// pei-system's checked mode sweeps.
+    pub fn read_credit_state(&self) -> (u64, u64, u64) {
+        (
+            self.counters.get(self.c.reads),
+            self.counters.get(self.c.read_resps),
+            self.pending_reads,
+        )
+    }
+
+    /// Fault hook: leaks one read credit — the in-flight window grows
+    /// without a matching request, as a lost response packet would make
+    /// it. Validates the link-conservation checker.
+    pub fn fault_leak_read_credit(&mut self) {
+        self.pending_reads += 1;
     }
 
     /// Labels the current counter values as the end of phase `label`

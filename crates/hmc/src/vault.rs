@@ -64,6 +64,11 @@ pub struct Vault {
     tsv: BwChannel,
     counters: Counters,
     c: VaultCounters,
+    // Fault-injection switch: a wedged vault accepts and queues accesses
+    // but never starts bank work, modeling a hung DRAM partition. Normal
+    // runs never set this; the single branch in `try_start` is the whole
+    // cost (see pei-system's checked mode).
+    wedged: bool,
 }
 
 /// Dense counter slots registered at construction (hot-path bumps are
@@ -107,7 +112,15 @@ impl Vault {
             tsv: BwChannel::new(cfg.tsv_bytes_per_cycle, 2),
             counters,
             c,
+            wedged: false,
         }
+    }
+
+    /// Fault hook: wedges the vault — queued and future accesses are
+    /// accepted but never serviced, so dependent requests stall exactly
+    /// as they would behind a hung DRAM partition.
+    pub fn fault_wedge(&mut self) {
+        self.wedged = true;
     }
 
     /// If `start` falls inside a periodic all-bank refresh window
@@ -147,6 +160,9 @@ impl Vault {
     }
 
     fn try_start(&mut self, bank_idx: usize, now: Cycle, out: &mut Outbox<VaultOut>) {
+        if self.wedged {
+            return;
+        }
         let start = {
             let bank = &mut self.banks[bank_idx];
             if bank.queue.is_empty() {

@@ -605,6 +605,42 @@ impl L3Bank {
         self.counters.get(self.c.accesses)
     }
 
+    /// Whether the bank holds `block` (no LRU side effects); locked
+    /// fill placeholders count as held.
+    pub fn holds(&self, block: BlockAddr) -> bool {
+        self.array.line(block).is_some()
+    }
+
+    /// Number of in-flight transactions plus deferred overflow inputs
+    /// (occupancy reporting for failure diagnostics).
+    pub fn inflight(&self) -> usize {
+        self.txns.len() + self.overflow.len()
+    }
+
+    /// Blocks with an active transaction, paired with the fill victim's
+    /// block when one is mid-recall. Invariant sweeps use this to excuse
+    /// lines that are legitimately in transition: a private copy of a
+    /// fill victim may outlive the L3 line until its recall ack lands.
+    pub fn txn_blocks(&self) -> impl Iterator<Item = (BlockAddr, Option<BlockAddr>)> + '_ {
+        self.txns.iter().map(|(b, t)| {
+            let victim = match &t.kind {
+                TxnKind::Fill {
+                    victim: Some(v), ..
+                } => Some(v.block),
+                _ => None,
+            };
+            (*b, victim)
+        })
+    }
+
+    /// Fault hook: silently drops the bank's line for `block` — no
+    /// recalls, no writeback — leaving any private copies orphaned (an
+    /// inclusivity violation for checker validation). Returns whether a
+    /// line was present to drop.
+    pub fn fault_orphan_line(&mut self, block: BlockAddr) -> bool {
+        self.array.invalidate(block).is_some()
+    }
+
     /// Labels the current counter values as the end of phase `label`
     /// (see `Counters::snapshot`).
     pub fn snapshot_phase(&mut self, label: &'static str) {

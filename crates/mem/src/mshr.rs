@@ -151,6 +151,12 @@ impl MshrFile {
     pub fn merges(&self) -> u64 {
         self.merges
     }
+
+    /// Blocks with an outstanding entry, in no particular order
+    /// (invariant-checker access; see `pei-system`'s checked mode).
+    pub fn blocks(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        self.entries.keys().copied()
+    }
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@ use crate::mshr::MshrFile;
 use crate::mshr::Waiter;
 use pei_engine::{CounterId, Counters, Occupancy, Outbox, StatsReport};
 use pei_types::{BlockAddr, CoreId, Cycle};
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 /// Output messages of the private cache, each stamped with the absolute
 /// cycle it leaves the component.
@@ -70,6 +70,19 @@ pub struct PrivateCache {
     mshr: MshrFile,
     stall_q: VecDeque<CoreReq>,
     port: Occupancy,
+    // Checker metadata only — never read on the simulation path. Two
+    // benign races can desynchronize the L3's presence mask from this
+    // cache: (a) a recall overtakes an in-flight grant (recalls ride
+    // control flits, grants ride slower data flits) and no-ops here,
+    // leaving the late grant to install a copy the L3 no longer tracks;
+    // (b) a block is evicted while its own upgrade miss is pending, so
+    // the Put notice reaches the L3 after the upgrade grant and erases
+    // us from the mask. `overtaken` remembers blocks hit by either race
+    // while their miss is pending; the install then moves the block to
+    // `tainted`, which the MESI auditor excuses (see `pei_system::check`
+    // and DESIGN.md §9).
+    overtaken: BTreeSet<u64>,
+    tainted: BTreeSet<u64>,
     counters: Counters,
     c: PrivCounters,
 }
@@ -115,6 +128,8 @@ impl PrivateCache {
             mshr: MshrFile::new(cfg.priv_mshrs),
             stall_q: VecDeque::new(),
             port: Occupancy::new(),
+            overtaken: BTreeSet::new(),
+            tainted: BTreeSet::new(),
             counters,
             c,
         }
@@ -221,6 +236,7 @@ impl PrivateCache {
             .mshr
             .retire(resp.block)
             .expect("L3 response without MSHR entry");
+        let overtaken = self.overtaken.remove(&resp.block.0);
         let granted = match resp.grant {
             crate::msg::Grant::Shared => LineState::Shared,
             crate::msg::Grant::Exclusive => LineState::Exclusive,
@@ -234,6 +250,14 @@ impl PrivateCache {
             line.dirty = line.dirty || granted == LineState::Modified;
         } else if let Some(victim) = self.l2.insert(resp.block, granted) {
             self.l1.invalidate(victim.block);
+            self.tainted.remove(&victim.block.0);
+            // Evicting a block whose own miss (an upgrade) is still
+            // pending: the Put notice below reaches the L3 after it has
+            // granted that miss, erasing us from the presence mask while
+            // we hold the granted copy. Mark it for the MESI auditor.
+            if self.mshr.blocks().any(|b| b == victim.block) {
+                self.overtaken.insert(victim.block.0);
+            }
             self.counters
                 .add(self.c.writebacks, u64::from(victim.dirty));
             out.push(PrivOut::ToL3 {
@@ -249,6 +273,9 @@ impl PrivateCache {
                 },
                 at: now + 1,
             });
+        }
+        if overtaken {
+            self.tainted.insert(resp.block.0);
         }
         self.l2.touch(resp.block);
         self.fill_l1(resp.block);
@@ -324,12 +351,32 @@ impl PrivateCache {
                         line.dirty = false;
                         if let Some(l1l) = self.l1.line_mut(recall.block) {
                             l1l.state = LineState::Shared;
+                            // Clear the L1 dirty bit too: the ack above
+                            // surrendered the dirty data. Leaving it set
+                            // would let a later L1 eviction fold it back
+                            // into the L2 line (`fill_l1`), silently
+                            // re-promoting a downgraded Shared line to
+                            // Modified behind the L3's back.
+                            l1l.dirty = false;
                         }
                     }
                 }
+                // A recall that found the line means the L3 still tracks
+                // this copy: it is consistent again.
+                self.tainted.remove(&recall.block.0);
                 (dirty, true)
             }
-            None => (false, false),
+            None => {
+                // The recall overtook a grant still in flight (control
+                // flits outrun data flits): the install below will leave
+                // a copy the L3 no longer tracks. Mark it for the MESI
+                // auditor; the simulation itself is unaffected (values
+                // live in the backing store).
+                if self.mshr.blocks().any(|b| b == recall.block) {
+                    self.overtaken.insert(recall.block.0);
+                }
+                (false, false)
+            }
         };
         out.push(PrivOut::Ack {
             ack: RecallAck {
@@ -356,6 +403,46 @@ impl PrivateCache {
     /// Number of in-flight misses (test/diagnostic helper).
     pub fn inflight_misses(&self) -> usize {
         self.mshr.len()
+    }
+
+    /// Every valid line of the authoritative (L2) array as
+    /// `(block, state)`, for cross-component invariant sweeps.
+    pub fn lines(&self) -> impl Iterator<Item = (BlockAddr, LineState)> + '_ {
+        self.l2.iter().map(|l| (l.block, l.state))
+    }
+
+    /// Whether this cache's copy of `block` went stale through the
+    /// benign recall-overtakes-grant race (see the field docs): the MESI
+    /// auditor excuses such copies instead of reporting corruption.
+    pub fn is_tainted(&self, block: BlockAddr) -> bool {
+        self.tainted.contains(&block.0)
+    }
+
+    /// Blocks with an outstanding MSHR entry (invariant-checker access).
+    pub fn mshr_blocks(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        self.mshr.blocks()
+    }
+
+    /// Fault hook: allocates an MSHR entry for `block` that no response
+    /// will ever retire — a simulated leak for checker validation. The
+    /// entry occupies real capacity, so downstream misses observe the
+    /// reduced MSHR file exactly as a genuine leak would.
+    pub fn fault_leak_mshr(&mut self, block: BlockAddr) {
+        self.mshr
+            .alloc(block, L3ReqKind::GetS, pei_types::ReqId(u64::MAX), false);
+    }
+
+    /// Fault hook: silently rewrites the held line for `block` to
+    /// `Modified` without any coherence traffic, returning whether a
+    /// line was present to corrupt.
+    pub fn fault_corrupt_line(&mut self, block: BlockAddr) -> bool {
+        match self.l2.line_mut(block) {
+            Some(line) => {
+                line.state = LineState::Modified;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Labels the current counter values as the end of phase `label`

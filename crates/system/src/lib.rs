@@ -33,11 +33,15 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod config;
 pub mod energy;
 pub mod system;
 mod tracer;
 
+pub use check::{
+    CheckConfig, FailureKind, FailureReport, FaultKind, FaultPlan, RunOutcome, Violation,
+};
 pub use config::MachineConfig;
 pub use energy::{EnergyBreakdown, EnergyInputs, EnergyModel};
 pub use system::{RunResult, System};

@@ -7,6 +7,10 @@
 //! physical topology says so. All the latencies of Figs. 4 and 5 arise
 //! from this wiring rather than being hard-coded per flow.
 
+use crate::check::{
+    self, ArmedFaults, CheckConfig, CheckState, FailureKind, FailureReport, FaultPlan, RunOutcome,
+    Violation,
+};
 use crate::config::MachineConfig;
 use crate::energy::{self, EnergyBreakdown, EnergyInputs, EnergyModel};
 use crate::tracer::Tracer;
@@ -33,7 +37,7 @@ use pei_types::{BlockAddr, CoreId, Cycle, L3BankId, OperandValue, PimCmd, ReqId}
 /// while the plain-memory-path variants stay inline. The
 /// `ev_stays_compact` test pins the resulting size.
 #[derive(Debug)]
-enum Ev {
+pub(crate) enum Ev {
     CoreTick(usize),
     CoreMemDone(usize, ReqId),
     CorePeiDone(usize, u64),
@@ -91,6 +95,11 @@ pub struct RunResult {
     pub energy: EnergyBreakdown,
     /// Full per-component statistics.
     pub stats: StatsReport,
+    /// How the run ended. Failed runs ([`RunOutcome::Stalled`],
+    /// [`RunOutcome::CycleLimit`], [`RunOutcome::CheckFailed`]) still
+    /// carry their partial metrics above, plus a structured
+    /// [`FailureReport`] inside the outcome.
+    pub outcome: RunOutcome,
 }
 
 impl RunResult {
@@ -99,25 +108,46 @@ impl RunResult {
     pub fn ipc(&self) -> f64 {
         self.instructions as f64 / self.cycles.max(1) as f64
     }
+
+    /// Whether the run completed normally (every workload group
+    /// finished, no invariant violation).
+    pub fn ok(&self) -> bool {
+        self.outcome.is_completed()
+    }
 }
 
 /// The simulated machine.
+///
+/// Fields are `pub(crate)` so the invariant auditors in
+/// [`crate::check`] can sweep component state read-only; the public
+/// surface stays methods-only.
 pub struct System {
-    cfg: MachineConfig,
-    queue: EventQueue<Ev>,
-    cores: Vec<Core>,
-    privs: Vec<PrivateCache>,
-    l3banks: Vec<L3Bank>,
-    xbar: Crossbar,
-    ctrl: HmcController,
-    vaults: Vec<Vault>,
-    mem_pcus: Vec<MemPcu>,
-    host_pcus: Vec<HostPcu>,
-    pmu: Pmu,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) queue: EventQueue<Ev>,
+    pub(crate) cores: Vec<Core>,
+    pub(crate) privs: Vec<PrivateCache>,
+    pub(crate) l3banks: Vec<L3Bank>,
+    pub(crate) xbar: Crossbar,
+    pub(crate) ctrl: HmcController,
+    pub(crate) vaults: Vec<Vault>,
+    pub(crate) mem_pcus: Vec<MemPcu>,
+    pub(crate) host_pcus: Vec<HostPcu>,
+    pub(crate) pmu: Pmu,
     store: BackingStore,
     groups: Vec<Group>,
     core_group: Vec<Option<usize>>,
     finish_time: Cycle,
+    // Run-loop accounting for the event-conservation and crossbar
+    // auditors: events dispatched (popped and handled) and messages the
+    // router injected into the crossbar.
+    pub(crate) dispatched: u64,
+    pub(crate) xsends: u64,
+    // Checked mode (None in normal runs; one `is_some()` branch each).
+    checks: Option<Box<CheckState>>,
+    faults: Option<Box<ArmedFaults>>,
+    // Violations found by sweeps or flagged by the router; non-empty
+    // ends the run with a `CheckFailed` outcome.
+    violations: Vec<Violation>,
     // Reusable per-component outboxes: taken (std::mem::take) around each
     // handler call and put back after routing, so the steady-state event
     // loop allocates nothing. route_* methods only schedule events and
@@ -197,6 +227,11 @@ impl System {
             groups: Vec::new(),
             core_group: vec![None; n],
             finish_time: 0,
+            dispatched: 0,
+            xsends: 0,
+            checks: None,
+            faults: None,
+            violations: Vec::new(),
             ob_core: Outbox::new(),
             ob_priv: Outbox::new(),
             ob_l3: Outbox::new(),
@@ -221,6 +256,34 @@ impl System {
     /// Detaches and returns the capture sink, if one is attached.
     pub fn detach_tracer(&mut self) -> Option<Box<dyn TraceSink>> {
         self.tracer.take().map(|t| t.sink)
+    }
+
+    /// Turns on checked mode: the run loop sweeps the cross-component
+    /// invariant auditors every [`CheckConfig::interval`] cycles and
+    /// ends the run with a [`RunOutcome::CheckFailed`] report when one
+    /// fires. If no tracer is attached, a last-`window`-events ring
+    /// recorder is attached so failure reports carry the events leading
+    /// up to the violation.
+    ///
+    /// Sweeps observe and never schedule, so a checked run that
+    /// completes is byte-identical to the unchecked run (the same
+    /// contract as tracing; see DESIGN.md §9).
+    pub fn enable_checks(&mut self, cfg: CheckConfig) {
+        if self.tracer.is_none() {
+            self.attach_tracer(Box::new(pei_trace::Recorder::with_capacity(cfg.window)));
+        }
+        self.checks = Some(Box::new(CheckState::new(cfg)));
+    }
+
+    /// Injects a deterministic [`FaultPlan`]: immediate faults (wedged
+    /// vault, leaked MSHR/lock/credit, overfilled PCU) are applied to
+    /// components now; event-triggered faults (corrupt, drop, delay,
+    /// rogue message) arm on the run loop. Test-harness use only.
+    pub fn inject_faults(&mut self, plan: &FaultPlan) {
+        let armed = check::resolve_plan(self, plan);
+        if armed.any_armed() {
+            self.faults = Some(Box::new(armed));
+        }
     }
 
     /// Labels every component's current counter values as the end of
@@ -331,7 +394,7 @@ impl System {
     fn port_pmu(&self) -> usize {
         self.cfg.cores + self.cfg.mem.l3_banks
     }
-    fn bank_of(&self, block: BlockAddr) -> usize {
+    pub(crate) fn bank_of(&self, block: BlockAddr) -> usize {
         (block.0 as usize) & (self.cfg.mem.l3_banks - 1)
     }
 
@@ -399,35 +462,203 @@ impl System {
         self.groups.iter().all(|g| g.done)
     }
 
-    /// Runs until every workload group completes (or `max_cycles` elapse).
+    /// Runs until every workload group completes, the cycle limit
+    /// elapses, or forward progress is lost.
+    ///
+    /// This never panics on a sick machine: deadlock (the event queue
+    /// empties while work remains) and cycle-limit overrun end the run
+    /// with a [`RunOutcome::Stalled`] / [`RunOutcome::CycleLimit`]
+    /// outcome carrying a structured [`FailureReport`] — diagnosis
+    /// text, per-component queue occupancies, and the last captured
+    /// events — so batch runners can record the failure and keep their
+    /// sibling jobs running.
     ///
     /// # Panics
     ///
-    /// Panics on deadlock (the event queue empties while work remains) or
-    /// when `max_cycles` is exceeded — both indicate a bug or a grossly
-    /// undersized limit, and the message carries per-core diagnostics.
+    /// Panics only on harness misuse (no workload assigned).
     pub fn run(&mut self, max_cycles: Cycle) -> RunResult {
         assert!(!self.groups.is_empty(), "no workload assigned");
         for g in 0..self.groups.len() {
             self.pull_phase(g, 0);
         }
+        let mut last = 0;
         while let Some((now, ev)) = self.queue.pop() {
-            assert!(
-                now <= max_cycles,
-                "cycle limit {max_cycles} exceeded; {} events pending",
-                self.queue.len()
-            );
+            if now > max_cycles {
+                return self.fail(FailureKind::CycleLimit, now);
+            }
+            last = now;
+            let ev = if self.faults.is_some() {
+                match self.apply_event_faults(now, ev) {
+                    Some(ev) => ev,
+                    None => continue, // dropped or delayed by a fault
+                }
+            } else {
+                ev
+            };
             self.dispatch(now, ev);
+            self.dispatched += 1;
+            if let Some(checks) = &self.checks {
+                if now >= checks.next_sweep {
+                    self.sweep(now);
+                }
+            }
+            if !self.violations.is_empty() {
+                return self.fail(FailureKind::CheckFailed, now);
+            }
             if self.all_done() {
                 break;
             }
         }
-        assert!(
-            self.all_done(),
-            "deadlock: event queue empty but work remains: {}",
-            self.diagnose()
-        );
-        self.result()
+        if !self.all_done() {
+            return self.fail(FailureKind::Stalled, last);
+        }
+        self.result(RunOutcome::Completed)
+    }
+
+    /// Runs one sweep of the invariant auditors. Out-of-line and only
+    /// reached in checked mode; the `CheckState` is taken and put back
+    /// (the outbox pattern) so it can borrow the rest of the machine
+    /// immutably.
+    #[cold]
+    fn sweep(&mut self, now: Cycle) {
+        let mut checks = self.checks.take().expect("sweep requires checked mode");
+        let mut found = std::mem::take(&mut self.violations);
+        checks.sweep(self, now, &mut found);
+        checks.next_sweep = now + checks.cfg.interval;
+        self.violations = found;
+        self.checks = Some(checks);
+    }
+
+    /// Applies any armed event-triggered faults to the event just
+    /// popped. Returns `None` when the fault consumed the event (drop
+    /// or delay); the caller skips dispatch. Disarms itself once every
+    /// trigger has fired.
+    #[cold]
+    fn apply_event_faults(&mut self, now: Cycle, ev: Ev) -> Option<Ev> {
+        let n = self.dispatched;
+        let mut f = self.faults.take().expect("no faults armed");
+        let mut out = Some(ev);
+        if f.corrupt_at.is_some_and(|at| n >= at) && self.try_corrupt_line() {
+            f.corrupt_at = None;
+        }
+        if f.rogue_at.is_some_and(|at| n >= at) {
+            // Behind the router's back: the crossbar switches a message
+            // `xsend` never injected.
+            self.xbar.send(0, now, XbarPayload::Control);
+            f.rogue_at = None;
+        }
+        if f.drop_at.is_some_and(|at| n >= at) {
+            f.drop_at = None;
+            out = None; // the event vanishes; conservation now fails by one
+        } else if f.delay_at.is_some_and(|(at, _)| n >= at) {
+            let (_, delay) = f.delay_at.take().expect("checked above");
+            let ev = out.take().expect("delay consumes the event");
+            self.queue.schedule(now + delay, ev);
+            // The pop is accounted as dispatched; the reschedule re-adds
+            // it to `total_scheduled`, so conservation still balances —
+            // a delay perturbs timing without violating any invariant.
+            self.dispatched += 1;
+        }
+        if f.any_armed() {
+            self.faults = Some(f);
+        }
+        out
+    }
+
+    /// Corrupts coherence state for the `CorruptLine` fault: flips one
+    /// copy of a multiply-held block writable (a single-writer
+    /// violation), falling back to orphaning the L3 copy under a
+    /// private line (an inclusivity violation). Deterministic: scans in
+    /// block order. Returns false if no line is corruptible yet.
+    fn try_corrupt_line(&mut self) -> bool {
+        let mut holders: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
+        for (i, p) in self.privs.iter().enumerate() {
+            for (b, _) in p.lines() {
+                holders.entry(b.0).or_default().push(i);
+            }
+        }
+        for (&b, who) in holders.iter() {
+            if who.len() >= 2 && self.privs[who[0]].fault_corrupt_line(BlockAddr(b)) {
+                return true;
+            }
+        }
+        for &b in holders.keys() {
+            let block = BlockAddr(b);
+            let bank = self.bank_of(block);
+            if self.l3banks[bank].fault_orphan_line(block) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Ends a run that did not complete: assembles the structured
+    /// [`FailureReport`] (diagnosis, occupancies, violations, recent
+    /// events) and returns the partial result carrying it.
+    #[cold]
+    fn fail(&mut self, kind: FailureKind, now: Cycle) -> RunResult {
+        let report = Box::new(FailureReport {
+            kind,
+            cycle: now,
+            diagnosis: self.diagnose(),
+            violations: std::mem::take(&mut self.violations),
+            occupancies: self.occupancies(),
+            recent_events: self
+                .tracer
+                .as_ref()
+                .and_then(|t| t.sink.to_petr())
+                .and_then(|bytes| pei_trace::Trace::from_bytes(&bytes).ok()),
+        });
+        self.finish_time = self.finish_time.max(now);
+        let outcome = match kind {
+            FailureKind::Stalled => RunOutcome::Stalled { report },
+            FailureKind::CycleLimit => RunOutcome::CycleLimit { report },
+            FailureKind::CheckFailed => RunOutcome::CheckFailed { report },
+        };
+        self.result(outcome)
+    }
+
+    /// Nonzero queue/buffer occupancies per component, deepest
+    /// component first — upstream components wait on downstream ones,
+    /// so the first entry is the watchdog's best guess at the culprit
+    /// (`FailureReport::culprit`).
+    fn occupancies(&self) -> Vec<(String, u64)> {
+        let mut v = Vec::new();
+        for (i, vault) in self.vaults.iter().enumerate() {
+            if vault.backlog() > 0 {
+                v.push((format!("vault{i}.backlog"), vault.backlog() as u64));
+            }
+        }
+        for (i, pcu) in self.mem_pcus.iter().enumerate() {
+            if pcu.backlog() > 0 {
+                v.push((format!("mpcu{i}.backlog"), pcu.backlog() as u64));
+            }
+        }
+        if self.ctrl.pending_reads() > 0 {
+            v.push(("link.pending_reads".to_string(), self.ctrl.pending_reads()));
+        }
+        for (b, bank) in self.l3banks.iter().enumerate() {
+            if bank.inflight() > 0 {
+                v.push((format!("l3bank{b}.txns"), bank.inflight() as u64));
+            }
+        }
+        for (i, p) in self.privs.iter().enumerate() {
+            if p.inflight_misses() > 0 {
+                v.push((format!("cache{i}.mshr"), p.inflight_misses() as u64));
+            }
+        }
+        if self.pmu.in_flight() > 0 {
+            v.push(("pmu.in_flight".to_string(), self.pmu.in_flight() as u64));
+        }
+        for (i, c) in self.cores.iter().enumerate() {
+            if !c.drained() {
+                v.push((format!("core{i}.undrained"), 1));
+            }
+        }
+        if !self.queue.is_empty() {
+            v.push(("queue.pending".to_string(), self.queue.len() as u64));
+        }
+        v
     }
 
     fn diagnose(&self) -> String {
@@ -542,6 +773,7 @@ impl System {
     /// payload packs the source port in the high half and the delivery
     /// latency in the low half.
     fn xsend(&mut self, port: usize, at: Cycle, payload: XbarPayload) -> Cycle {
+        self.xsends += 1;
         let delivered = self.xbar.send(port, at, payload);
         if let Some(t) = &mut self.tracer {
             let packed = ((port as u64) << 32) | ((delivered - at) & 0xffff_ffff);
@@ -745,7 +977,20 @@ impl System {
                 PrivOut::CoreResp { id, at } => match id.namespace() {
                     ns::CORE => self.queue.schedule(at, Ev::CoreMemDone(i, id)),
                     ns::HOST_PCU => self.queue.schedule(at, Ev::HostPcuL1Resp(i, id)),
-                    other => panic!("unexpected namespace {other} at private cache"),
+                    other => {
+                        // Protocol corruption: a response id no consumer
+                        // claims. Flag it through the failure-report path
+                        // (run ends with `CheckFailed` naming this cache)
+                        // instead of tearing the process down.
+                        self.flag_violation(Violation {
+                            checker: "router",
+                            component: format!("cache{i}"),
+                            detail: format!(
+                                "response id {:#x} carries unroutable namespace {other} at cycle {at}",
+                                id.0
+                            ),
+                        });
+                    }
                 },
                 PrivOut::ToL3 { req, at } => {
                     let payload = if req.kind == pei_mem::L3ReqKind::PutM {
@@ -974,7 +1219,15 @@ impl System {
         &self.store
     }
 
-    fn result(&mut self) -> RunResult {
+    /// Records a violation observed by the routing layer itself (as
+    /// opposed to a sweep); the run loop ends the run at the next
+    /// event boundary.
+    #[cold]
+    fn flag_violation(&mut self, v: Violation) {
+        self.violations.push(v);
+    }
+
+    fn result(&mut self, outcome: RunOutcome) -> RunResult {
         let mut stats = StatsReport::new();
         for c in &self.cores {
             c.report("core.", &mut stats);
@@ -1042,6 +1295,7 @@ impl System {
             dram_accesses,
             energy,
             stats,
+            outcome,
         }
     }
 }
@@ -1103,6 +1357,126 @@ mod tests {
             !diag.contains("vault1"),
             "idle vaults must stay out of the report: {diag}"
         );
+    }
+
+    fn tiny_workload(store: &mut BackingStore) -> Box<dyn PhasedTrace> {
+        use pei_cpu::trace::{Op, VecPhases};
+        let a = store.alloc_block();
+        let b = store.alloc_block();
+        Box::new(VecPhases::single(vec![
+            Op::load(a),
+            Op::store(b),
+            Op::load(a),
+        ]))
+    }
+
+    #[test]
+    fn checked_clean_run_completes() {
+        let cfg = MachineConfig::scaled(DispatchPolicy::LocalityAware);
+        let mut store = BackingStore::new();
+        let trace = tiny_workload(&mut store);
+        let mut sys = System::new(cfg, store);
+        sys.add_workload(trace, vec![0]);
+        sys.enable_checks(CheckConfig {
+            interval: 64, // sweep aggressively; a healthy machine stays silent
+            ..CheckConfig::default()
+        });
+        let r = sys.run(1_000_000);
+        assert!(r.ok(), "clean checked run must complete: {:?}", r.outcome);
+        assert_eq!(r.instructions, 3);
+    }
+
+    #[test]
+    fn watchdog_reports_a_stall_instead_of_panicking() {
+        let cfg = MachineConfig::scaled(DispatchPolicy::LocalityAware);
+        let mut store = BackingStore::new();
+        let trace = tiny_workload(&mut store);
+        let mut sys = System::new(cfg, store);
+        sys.add_workload(trace, vec![0]);
+        // Wedge every vault: the L3 fill never returns and the event
+        // queue drains with the core still blocked.
+        for v in &mut sys.vaults {
+            v.fault_wedge();
+        }
+        let r = sys.run(1_000_000);
+        let report = match &r.outcome {
+            RunOutcome::Stalled { report } => report,
+            other => panic!("expected a stall, got {other:?}"),
+        };
+        let culprit = report.culprit().expect("stall must name a culprit");
+        assert!(
+            culprit.starts_with("vault"),
+            "deepest stuck component is the vault, got {culprit}: {}",
+            report.summary()
+        );
+        assert!(
+            report.diagnosis.contains("core0 not drained"),
+            "diagnosis keeps the classic text: {}",
+            report.diagnosis
+        );
+    }
+
+    #[test]
+    fn cycle_limit_reports_instead_of_panicking() {
+        let cfg = MachineConfig::scaled(DispatchPolicy::LocalityAware);
+        let mut store = BackingStore::new();
+        let trace = tiny_workload(&mut store);
+        let mut sys = System::new(cfg, store);
+        sys.add_workload(trace, vec![0]);
+        let r = sys.run(2); // a DRAM round trip cannot fit in two cycles
+        match &r.outcome {
+            RunOutcome::CycleLimit { report } => {
+                assert_eq!(report.kind, FailureKind::CycleLimit);
+                assert!(!report.occupancies.is_empty(), "work was left in flight");
+            }
+            other => panic!("expected a cycle-limit outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unroutable_namespace_is_reported_not_fatal() {
+        let cfg = MachineConfig::scaled(DispatchPolicy::LocalityAware);
+        let mut sys = System::new(cfg, BackingStore::new());
+        let mut outs = Outbox::new();
+        outs.push(PrivOut::CoreResp {
+            id: ReqId::tagged(ns::PMU, 0, 9),
+            at: 41,
+        });
+        sys.route_priv(2, &mut outs);
+        assert_eq!(sys.violations.len(), 1);
+        let v = &sys.violations[0];
+        assert_eq!(v.checker, "router");
+        assert_eq!(v.component, "cache2");
+        assert!(
+            v.detail.contains("namespace 4") && v.detail.contains("cycle 41"),
+            "detail must carry the namespace and cycle: {}",
+            v.detail
+        );
+    }
+
+    #[test]
+    fn failure_report_window_persists_via_stream_sink() {
+        let cfg = MachineConfig::scaled(DispatchPolicy::LocalityAware);
+        let mut store = BackingStore::new();
+        let trace = tiny_workload(&mut store);
+        let mut sys = System::new(cfg, store);
+        sys.add_workload(trace, vec![0]);
+        sys.enable_checks(CheckConfig::default());
+        for v in &mut sys.vaults {
+            v.fault_wedge();
+        }
+        let r = sys.run(1_000_000);
+        let report = r.outcome.report().expect("wedged run must fail");
+        let events = report.recent_events.as_ref().expect("ring attached");
+        assert!(!events.records.is_empty(), "window must capture events");
+        let mut path = std::env::temp_dir();
+        path.push(format!("pei_failwin_{}.petr", std::process::id()));
+        let written = report.save_window(&path).unwrap();
+        assert_eq!(written, events.records.len() as u64);
+        let loaded = pei_trace::Trace::load(&path).unwrap();
+        assert_eq!(loaded.records, events.records);
+        assert_eq!(loaded.meta_get("failure.kind"), Some("stalled"));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

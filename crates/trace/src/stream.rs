@@ -1,0 +1,260 @@
+//! A [`TraceSink`] that writes `.petr` incrementally to disk.
+//!
+//! [`Recorder`](crate::Recorder) buffers every record in memory (20 B
+//! per event), which caps full-scale captures at available RAM. The
+//! [`StreamSink`] removes that bound: records flow straight to disk
+//! through a buffered writer while only the (tiny) interning tables and
+//! metadata stay resident.
+//!
+//! The `.petr` layout puts the metadata, string tables, and record count
+//! *before* the records (see [`crate::format`]), and all three grow
+//! during a capture — so the sink streams records to a sibling spill
+//! file (`<path>.tmp`) and assembles the final file in
+//! [`finish`](StreamSink::finish): header + tables first, then the
+//! spilled records appended with a bounded copy buffer. Peak memory is
+//! `O(tables + metadata)` regardless of record count.
+//!
+//! I/O errors inside the hot [`record`](TraceSink::record) path are
+//! latched rather than panicking (the trait is infallible by design);
+//! `finish` surfaces the first one. Dropping an unfinished sink removes
+//! the spill file.
+
+use crate::record::{CompId, KindId, Record, RECORD_BYTES};
+use crate::sink::TraceSink;
+use crate::{format, Trace};
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Streams `.petr` records to disk as they are captured.
+///
+/// # Examples
+///
+/// ```no_run
+/// use pei_trace::{StreamSink, TraceSink, Trace};
+///
+/// let mut sink = StreamSink::create("run.petr".as_ref()).unwrap();
+/// let core = sink.comp("core0");
+/// let tick = sink.kind("tick");
+/// sink.record(1, core, tick, 0);
+/// sink.meta("spec.workload", "atf");
+/// let written = sink.finish().unwrap();
+/// assert_eq!(written, 1);
+/// let t = Trace::load("run.petr".as_ref()).unwrap();
+/// assert_eq!(t.records.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct StreamSink {
+    path: PathBuf,
+    spill_path: PathBuf,
+    spill: Option<BufWriter<File>>,
+    comps: Vec<String>,
+    kinds: Vec<String>,
+    meta: Vec<(String, String)>,
+    records: u64,
+    scratch: Vec<u8>,
+    err: Option<io::Error>,
+}
+
+impl StreamSink {
+    /// Opens a streaming capture that will materialize at `path` when
+    /// [`finish`](Self::finish)ed. A `<path>.tmp` sibling spill file is
+    /// created immediately.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the spill file cannot be created.
+    pub fn create(path: &Path) -> io::Result<StreamSink> {
+        let mut spill_path = path.as_os_str().to_owned();
+        spill_path.push(".tmp");
+        let spill_path = PathBuf::from(spill_path);
+        let spill = BufWriter::new(File::create(&spill_path)?);
+        Ok(StreamSink {
+            path: path.to_path_buf(),
+            spill_path,
+            spill: Some(spill),
+            comps: Vec::new(),
+            kinds: Vec::new(),
+            meta: Vec::new(),
+            records: 0,
+            scratch: Vec::with_capacity(RECORD_BYTES),
+            err: None,
+        })
+    }
+
+    /// Records streamed so far.
+    pub fn records_written(&self) -> u64 {
+        self.records
+    }
+
+    /// Finalizes the capture: writes the `.petr` header, metadata, and
+    /// string tables to the target path, appends the spilled records,
+    /// and removes the spill file. Returns the record count.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the first I/O error latched during capture, or any
+    /// error during assembly.
+    pub fn finish(mut self) -> io::Result<u64> {
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        let mut spill = self.spill.take().expect("finish consumes the sink");
+        spill.flush()?;
+        // The spill handle is write-only; reopen it for the read-back.
+        drop(spill);
+        let mut spill = File::open(&self.spill_path)?;
+
+        // Header + tables come from an empty-records Trace, minus the
+        // trailing record count `encode` appends for zero records.
+        let head = Trace {
+            meta: std::mem::take(&mut self.meta),
+            comps: std::mem::take(&mut self.comps),
+            kinds: std::mem::take(&mut self.kinds),
+            dropped: 0,
+            records: Vec::new(),
+        };
+        let mut bytes = format::encode(&head);
+        bytes.truncate(bytes.len() - 8);
+        bytes.extend_from_slice(&self.records.to_le_bytes());
+
+        let mut out = BufWriter::new(File::create(&self.path)?);
+        out.write_all(&bytes)?;
+        let mut buf = [0u8; 64 * RECORD_BYTES];
+        loop {
+            let n = spill.read(&mut buf)?;
+            if n == 0 {
+                break;
+            }
+            out.write_all(&buf[..n])?;
+        }
+        out.flush()?;
+        drop(spill);
+        std::fs::remove_file(&self.spill_path)?;
+        Ok(self.records)
+    }
+}
+
+impl Drop for StreamSink {
+    fn drop(&mut self) {
+        // `finish` took the writer; an unfinished sink cleans up its
+        // spill file (best effort).
+        if self.spill.take().is_some() {
+            let _ = std::fs::remove_file(&self.spill_path);
+        }
+    }
+}
+
+fn intern(table: &mut Vec<String>, name: &str) -> u16 {
+    if let Some(i) = table.iter().position(|n| n == name) {
+        return i as u16;
+    }
+    assert!(table.len() < u16::MAX as usize, "interned-table overflow");
+    table.push(name.to_string());
+    (table.len() - 1) as u16
+}
+
+impl TraceSink for StreamSink {
+    fn comp(&mut self, name: &str) -> CompId {
+        CompId(intern(&mut self.comps, name))
+    }
+
+    fn kind(&mut self, name: &str) -> KindId {
+        KindId(intern(&mut self.kinds, name))
+    }
+
+    fn record(&mut self, cycle: u64, comp: CompId, kind: KindId, payload: u64) {
+        if self.err.is_some() {
+            return;
+        }
+        self.scratch.clear();
+        Record {
+            cycle,
+            comp,
+            kind,
+            payload,
+        }
+        .encode(&mut self.scratch);
+        let w = self.spill.as_mut().expect("sink not finished");
+        if let Err(e) = w.write_all(&self.scratch) {
+            self.err = Some(e);
+            return;
+        }
+        self.records += 1;
+    }
+
+    fn meta(&mut self, key: &str, value: &str) {
+        if let Some(slot) = self.meta.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value.to_string();
+        } else {
+            self.meta.push((key.to_string(), value.to_string()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pei_stream_{name}_{}.petr", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn stream_matches_recorder() {
+        let path = tmp("roundtrip");
+        let mut stream = StreamSink::create(&path).unwrap();
+        let mut rec = crate::Recorder::new();
+        for sink in [&mut stream as &mut dyn TraceSink, &mut rec] {
+            let core = sink.comp("core0");
+            let vault = sink.comp("vault1");
+            let tick = sink.kind("tick");
+            sink.meta("spec.workload", "atf");
+            for i in 0..1000u64 {
+                sink.record(i, if i % 2 == 0 { core } else { vault }, tick, i * 3);
+            }
+        }
+        assert_eq!(stream.finish().unwrap(), 1000);
+        let streamed = Trace::load(&path).unwrap();
+        assert_eq!(streamed, rec.to_trace());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn meta_keeps_last_value() {
+        let path = tmp("meta");
+        let mut s = StreamSink::create(&path).unwrap();
+        s.meta("k", "first");
+        s.meta("k", "second");
+        s.finish().unwrap();
+        let t = Trace::load(&path).unwrap();
+        assert_eq!(t.meta_get("k"), Some("second"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unfinished_sink_cleans_its_spill_file() {
+        let path = tmp("cleanup");
+        let spill = {
+            let mut s = StreamSink::create(&path).unwrap();
+            let c = s.comp("c");
+            let k = s.kind("k");
+            s.record(0, c, k, 0);
+            s.spill_path.clone()
+        };
+        assert!(!spill.exists(), "dropped sink must remove its spill file");
+        assert!(!path.exists(), "no final file without finish()");
+    }
+
+    #[test]
+    fn empty_capture_is_a_valid_trace() {
+        let path = tmp("empty");
+        let s = StreamSink::create(&path).unwrap();
+        assert_eq!(s.finish().unwrap(), 0);
+        let t = Trace::load(&path).unwrap();
+        assert!(t.records.is_empty() && t.comps.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+}
