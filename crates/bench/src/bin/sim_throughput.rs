@@ -8,8 +8,8 @@
 //!
 //! ```text
 //! cargo run -p pei-bench --release --bin sim_throughput -- \
-//!     [--scale quick|full] [--seed <n>] [--repeat <n>] [--label <s>] [--out <path>] \
-//!     [--append] [--traced] [--checked]
+//!     [--scale quick|full] [--paper] [--seed <n>] [--repeat <n>] [--label <s>] [--out <path>] \
+//!     [--append] [--traced] [--checked] [--shards <n>]
 //! ```
 //!
 //! Runs are strictly serial (`jobs` is fixed at 1) so wall-clock time
@@ -29,6 +29,15 @@
 //! default interval, so the delta against an unchecked run measures the
 //! sanitizer's overhead (EXPERIMENTS.md §"Checked-mode overhead").
 //! Simulated results are likewise identical — sweeps observe only.
+//!
+//! `--shards <n>` runs every measured cell on the sharded engine
+//! (`System::run_sharded`, DESIGN.md §10) with `n` threads; pair a
+//! `--shards 1` record with a `--shards <n>` record (ideally `--paper`,
+//! whose 8 cubes give the partition real width) to measure intra-run
+//! parallel speedup (EXPERIMENTS.md §"Sharded-engine speedup"). The
+//! sharded schedule is a different valid event ordering than the
+//! sequential engine's, so compare sharded records against sharded
+//! baselines. `--paper` selects the paper-scale machine.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -112,8 +121,18 @@ fn parse_args() -> Args {
             "--append" => append = true,
             "--traced" => traced = true,
             "--checked" => checked = true,
+            "--paper" => opts.paper_machine = true,
+            "--shards" => {
+                let n: usize = args
+                    .next()
+                    .expect("--shards needs a number")
+                    .parse()
+                    .expect("shards must be an integer");
+                assert!(n >= 1, "--shards must be at least 1");
+                opts.shards = Some(n);
+            }
             other => panic!(
-                "unknown argument `{other}` (--scale, --seed, --repeat, --label, --out, --append, --traced, --checked)"
+                "unknown argument `{other}` (--scale, --paper, --seed, --repeat, --label, --out, --append, --traced, --checked, --shards)"
             ),
         }
     }
@@ -144,8 +163,13 @@ fn record_json(args: &Args, runs: &[Measured]) -> String {
     let mut s = String::new();
     let _ = write!(
         s,
-        "  {{\n    \"label\": \"{}\",\n    \"scale\": \"{scale}\",\n    \"seed\": {},\n    \"traced\": {},\n    \"checked\": {},\n    \"runs\": [",
-        args.label, args.opts.seed, args.traced, args.checked
+        "  {{\n    \"label\": \"{}\",\n    \"scale\": \"{scale}\",\n    \"paper\": {},\n    \"seed\": {},\n    \"traced\": {},\n    \"checked\": {},\n    \"shards\": {},\n    \"runs\": [",
+        args.label,
+        args.opts.paper_machine,
+        args.opts.seed,
+        args.traced,
+        args.checked,
+        args.opts.shards.map_or("null".into(), |n: usize| n.to_string()),
     );
     let (mut ev_tot, mut cy_tot, mut wall_tot) = (0u64, 0u64, 0f64);
     for (i, r) in runs.iter().enumerate() {
@@ -189,6 +213,7 @@ fn main() {
             InputSize::Medium,
         );
         spec.check = args.checked;
+        spec.shards = args.opts.shards;
         // Best-of-N wall time: simulated results are identical across
         // repeats (determinism contract), so the minimum isolates the
         // simulator's speed from scheduler noise on a shared host.

@@ -12,6 +12,12 @@
 //! * `--jobs <n>` — worker threads for the experiment grid (default:
 //!   available parallelism). Tables are byte-identical for every value —
 //!   see [`runner`] and the determinism contract in EXPERIMENTS.md;
+//! * `--shards <n>` — run every cell on the sharded engine
+//!   (`System::run_sharded`) with `n` threads: the machine splits into
+//!   a host shard plus one shard per HMC cube exchanging messages at
+//!   epoch barriers (DESIGN.md §10). Results are byte-identical for
+//!   every `n >= 1`; intra-run parallelism composes with `--jobs`
+//!   (total threads ≈ jobs × shards, so trade one against the other);
 //! * `--check` — checked mode: every run sweeps the simulator's
 //!   cross-component invariant auditors (MESI, MSHR leaks, flit/credit
 //!   conservation, operand accounting, event population; see
@@ -76,6 +82,13 @@ pub struct ExpOptions {
     /// Worker threads for the experiment grid (`>= 1`). Affects
     /// wall-clock time only, never results.
     pub jobs: usize,
+    /// Run every cell on the sharded engine with this many threads
+    /// (`System::run_sharded`; see DESIGN.md §10). `None` uses the
+    /// sequential engine. Results are identical for every `Some(n)`,
+    /// but the sharded schedule is a *different* (equally valid)
+    /// event ordering than the sequential one, so this is an explicit
+    /// opt-in rather than a default.
+    pub shards: Option<usize>,
     /// If set, also capture the binary's representative cell as an
     /// event trace (`.petr`, see [`tracecap`]) at this path.
     pub trace: Option<std::path::PathBuf>,
@@ -95,6 +108,7 @@ impl Default for ExpOptions {
             paper_machine: false,
             seed: 0x5eed,
             jobs: default_jobs(),
+            shards: None,
             trace: None,
             check: false,
         }
@@ -140,13 +154,22 @@ impl ExpOptions {
                         .expect("jobs must be an integer");
                     assert!(opts.jobs >= 1, "--jobs must be at least 1");
                 }
+                "--shards" => {
+                    let n: usize = args
+                        .next()
+                        .expect("--shards needs a number")
+                        .parse()
+                        .expect("shards must be an integer");
+                    assert!(n >= 1, "--shards must be at least 1");
+                    opts.shards = Some(n);
+                }
                 "--trace" => {
                     opts.trace = Some(args.next().expect("--trace needs a path").into());
                 }
                 "--check" => opts.check = true,
                 other => {
                     panic!(
-                        "unknown argument `{other}` (--scale, --paper, --seed, --jobs, --trace, --check)"
+                        "unknown argument `{other}` (--scale, --paper, --seed, --jobs, --shards, --trace, --check)"
                     )
                 }
             }
@@ -213,7 +236,16 @@ pub fn run_trace(
     if opts.check {
         sys.enable_checks(pei_system::CheckConfig::default());
     }
-    sys.run(CYCLE_LIMIT)
+    finish(opts, sys)
+}
+
+/// Drives a prepared system to completion on whichever engine the
+/// options selected: sequential by default, sharded under `--shards`.
+fn finish(opts: &ExpOptions, mut sys: System) -> RunResult {
+    match opts.shards {
+        Some(n) => sys.run_sharded(CYCLE_LIMIT, n),
+        None => sys.run(CYCLE_LIMIT),
+    }
 }
 
 /// If `--trace <path>` was given, captures the binary's representative
@@ -237,6 +269,7 @@ pub fn write_trace_if_requested(
         paper_machine: opts.paper_machine,
         seed: opts.seed,
         pei_budget: None,
+        shards: opts.shards,
     };
     let (_, trace) = spec.capture();
     std::fs::write(path, trace.to_bytes())
@@ -260,7 +293,7 @@ pub fn run_ideal_host(opts: &ExpOptions, workload: Workload, size: InputSize) ->
     if opts.check {
         sys.enable_checks(pei_system::CheckConfig::default());
     }
-    sys.run(CYCLE_LIMIT)
+    finish(opts, sys)
 }
 
 /// Geometric mean.

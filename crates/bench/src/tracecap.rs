@@ -92,18 +92,30 @@ pub struct CaptureSpec {
     /// Overrides the scale's PEI budget when set (tests use tiny
     /// budgets to keep the capture→replay loop fast).
     pub pei_budget: Option<u64>,
+    /// Capture ran on the sharded engine with this many threads
+    /// (`System::run_sharded`, DESIGN.md §10). Part of the recipe
+    /// because the sharded schedule is a different valid event ordering
+    /// than the sequential one: a replay must re-execute on the same
+    /// engine to be byte-comparable. The thread count itself doesn't
+    /// affect results, but is preserved verbatim for provenance.
+    pub shards: Option<usize>,
 }
 
 impl std::fmt::Display for CaptureSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}/{}/{} ({}{}, seed {})",
+            "{}/{}/{} ({}{}{}, seed {})",
             self.workload.label(),
             size_name(self.size),
             policy_name(self.policy),
             self.scale.name(),
             if self.paper_machine { ", paper" } else { "" },
+            if self.shards.is_some() {
+                ", sharded"
+            } else {
+                ""
+            },
             self.seed
         )
     }
@@ -122,7 +134,9 @@ impl CaptureSpec {
         if let Some(b) = self.pei_budget {
             params.pei_budget = b;
         }
-        RunSpec::sized(opts.machine(self.policy), params, self.workload, self.size)
+        let mut spec = RunSpec::sized(opts.machine(self.policy), params, self.workload, self.size);
+        spec.shards = self.shards;
+        spec
     }
 
     /// Writes this recipe into a sink's metadata table under `spec.*`
@@ -136,6 +150,9 @@ impl CaptureSpec {
         sink.meta("spec.seed", &self.seed.to_string());
         if let Some(b) = self.pei_budget {
             sink.meta("spec.budget", &b.to_string());
+        }
+        if let Some(n) = self.shards {
+            sink.meta("spec.shards", &n.to_string());
         }
     }
 
@@ -171,6 +188,13 @@ impl CaptureSpec {
                     .map_err(|_| "bad `spec.budget` metadata: not an integer".to_string())?,
             ),
         };
+        let shards = match t.meta_get("spec.shards") {
+            None => None,
+            Some(n) => Some(
+                n.parse()
+                    .map_err(|_| "bad `spec.shards` metadata: not an integer".to_string())?,
+            ),
+        };
         Ok(CaptureSpec {
             workload,
             size,
@@ -179,6 +203,7 @@ impl CaptureSpec {
             paper_machine,
             seed,
             pei_budget,
+            shards,
         })
     }
 
@@ -278,6 +303,7 @@ mod tests {
             paper_machine: true,
             seed: 0xfeed,
             pei_budget: Some(1234),
+            shards: Some(2),
         };
         let mut rec = Recorder::new();
         spec.write_meta(&mut rec);

@@ -23,6 +23,9 @@
 //!
 //! This crate's place in the workspace is mapped in DESIGN.md §5.
 
+#![warn(missing_docs)]
+
+pub mod barrier;
 pub mod channel;
 pub mod clock;
 pub mod counters;
@@ -31,6 +34,7 @@ pub mod queue;
 pub mod rng;
 pub mod stats;
 
+pub use barrier::EpochBarrier;
 pub use channel::{BwChannel, Occupancy, OccupancyPool};
 pub use clock::ClockDomain;
 pub use counters::{CounterId, Counters};

@@ -36,6 +36,7 @@
 pub mod check;
 pub mod config;
 pub mod energy;
+mod shard;
 pub mod system;
 mod tracer;
 

@@ -13,6 +13,7 @@ use crate::check::{
 };
 use crate::config::MachineConfig;
 use crate::energy::{self, EnergyBreakdown, EnergyInputs, EnergyModel};
+use crate::shard::StoreSlot;
 use crate::tracer::Tracer;
 use pei_core::{HostPcu, HostPcuOut, MemPcu, MemPcuOut, Pmu, PmuIn, PmuOut};
 use pei_cpu::core::{Core, CoreEvent, CoreStatus};
@@ -63,7 +64,7 @@ pub(crate) enum Ev {
     HostPcuMemResult(usize, ReqId, Box<OperandValue>),
 }
 
-struct Group {
+pub(crate) struct Group {
     trace: Box<dyn PhasedTrace>,
     cores: Vec<usize>,
     drained: Vec<bool>,
@@ -133,21 +134,36 @@ pub struct System {
     pub(crate) mem_pcus: Vec<MemPcu>,
     pub(crate) host_pcus: Vec<HostPcu>,
     pub(crate) pmu: Pmu,
-    store: BackingStore,
-    groups: Vec<Group>,
+    // Owned in sequential runs; shared behind a mutex while cube shards
+    // hold clones during a sharded run (crate::shard).
+    pub(crate) store: StoreSlot,
+    pub(crate) groups: Vec<Group>,
     core_group: Vec<Option<usize>>,
-    finish_time: Cycle,
+    pub(crate) finish_time: Cycle,
     // Run-loop accounting for the event-conservation and crossbar
     // auditors: events dispatched (popped and handled) and messages the
     // router injected into the crossbar.
     pub(crate) dispatched: u64,
     pub(crate) xsends: u64,
+    // Aggregated (scheduled, dispatched, pending) counts of the cube
+    // shards' own queues — zero in sequential runs; filled in by the
+    // sharded driver so the event-conservation auditor and the final
+    // `sim.events` statistic see the whole machine (DESIGN.md §10).
+    pub(crate) foreign_events: (u64, u64, u64),
+    // Per-cube outboxes of the sharded engine. `None` in sequential
+    // runs: `sched_cube` then schedules straight onto the global queue,
+    // so the default path is byte-identical to the pre-shard loop.
+    pub(crate) cube_out: Option<Vec<Vec<(Cycle, Ev)>>>,
+    // Phase label waiting to be applied to shard-owned components at
+    // the next epoch barrier (mark_phase during a sharded run cannot
+    // reach the vaults and memory PCUs directly; they are on workers).
+    pub(crate) pending_mark: Option<&'static str>,
     // Checked mode (None in normal runs; one `is_some()` branch each).
-    checks: Option<Box<CheckState>>,
-    faults: Option<Box<ArmedFaults>>,
+    pub(crate) checks: Option<Box<CheckState>>,
+    pub(crate) faults: Option<Box<ArmedFaults>>,
     // Violations found by sweeps or flagged by the router; non-empty
     // ends the run with a `CheckFailed` outcome.
-    violations: Vec<Violation>,
+    pub(crate) violations: Vec<Violation>,
     // Reusable per-component outboxes: taken (std::mem::take) around each
     // handler call and put back after routing, so the steady-state event
     // loop allocates nothing. route_* methods only schedule events and
@@ -163,7 +179,12 @@ pub struct System {
     // Event capture (None in normal runs). The hot path pays one
     // `is_some()` branch per dispatched event when tracing is off; all
     // name interning happens at attach time (see crate::tracer).
-    tracer: Option<Tracer>,
+    pub(crate) tracer: Option<Tracer>,
+    // When `Some`, host-side trace records are buffered here instead of
+    // going straight to the sink: the sharded driver merges them with
+    // the cube shards' buffers in deterministic order at each epoch
+    // barrier (DESIGN.md §10). `None` in sequential runs.
+    pub(crate) shard_trace: Option<Vec<pei_trace::Record>>,
 }
 
 // Parallel experiment runners move whole `System`s (including their
@@ -223,12 +244,15 @@ impl System {
                 .map(|i| HostPcu::new(CoreId(i as u16), cfg.pcu))
                 .collect(),
             pmu: Pmu::new(cfg.pmu_config()),
-            store,
+            store: StoreSlot::Owned(store),
             groups: Vec::new(),
             core_group: vec![None; n],
             finish_time: 0,
             dispatched: 0,
             xsends: 0,
+            foreign_events: (0, 0, 0),
+            cube_out: None,
+            pending_mark: None,
             checks: None,
             faults: None,
             violations: Vec::new(),
@@ -241,6 +265,7 @@ impl System {
             ob_pmu: Outbox::new(),
             ob_hpcu: Outbox::new(),
             tracer: None,
+            shard_trace: None,
             cfg,
         }
     }
@@ -294,6 +319,12 @@ impl System {
     /// workload group 0 finishes its first phase; experiment harnesses
     /// may add marks of their own between `run` calls.
     pub fn mark_phase(&mut self, label: &'static str) {
+        if self.cube_out.is_some() {
+            // Sharded run in progress: vaults and memory PCUs live on
+            // cube shards. The driver forwards the label at the next
+            // epoch barrier; everything host-side snapshots below.
+            self.pending_mark = Some(label);
+        }
         for c in &mut self.cores {
             c.snapshot_phase(label);
         }
@@ -398,7 +429,7 @@ impl System {
         (block.0 as usize) & (self.cfg.mem.l3_banks - 1)
     }
 
-    fn pull_phase(&mut self, g: usize, now: Cycle) {
+    pub(crate) fn pull_phase(&mut self, g: usize, now: Cycle) {
         let group = &mut self.groups[g];
         match group.trace.next_phase() {
             Some(phase) => {
@@ -458,7 +489,7 @@ impl System {
         }
     }
 
-    fn all_done(&self) -> bool {
+    pub(crate) fn all_done(&self) -> bool {
         self.groups.iter().all(|g| g.done)
     }
 
@@ -520,7 +551,7 @@ impl System {
     /// (the outbox pattern) so it can borrow the rest of the machine
     /// immutably.
     #[cold]
-    fn sweep(&mut self, now: Cycle) {
+    pub(crate) fn sweep(&mut self, now: Cycle) {
         let mut checks = self.checks.take().expect("sweep requires checked mode");
         let mut found = std::mem::take(&mut self.violations);
         checks.sweep(self, now, &mut found);
@@ -534,7 +565,7 @@ impl System {
     /// or delay); the caller skips dispatch. Disarms itself once every
     /// trigger has fired.
     #[cold]
-    fn apply_event_faults(&mut self, now: Cycle, ev: Ev) -> Option<Ev> {
+    pub(crate) fn apply_event_faults(&mut self, now: Cycle, ev: Ev) -> Option<Ev> {
         let n = self.dispatched;
         let mut f = self.faults.take().expect("no faults armed");
         let mut out = Some(ev);
@@ -596,7 +627,7 @@ impl System {
     /// [`FailureReport`] (diagnosis, occupancies, violations, recent
     /// events) and returns the partial result carrying it.
     #[cold]
-    fn fail(&mut self, kind: FailureKind, now: Cycle) -> RunResult {
+    pub(crate) fn fail(&mut self, kind: FailureKind, now: Cycle) -> RunResult {
         let report = Box::new(FailureReport {
             kind,
             cycle: now,
@@ -708,7 +739,7 @@ impl System {
     /// `is_some()` branch in [`dispatch`](Self::dispatch).
     #[cold]
     fn trace_ev(&mut self, now: Cycle, ev: &Ev) {
-        let t = self.tracer.as_mut().expect("trace_ev requires a tracer");
+        let t = self.tracer.as_ref().expect("trace_ev requires a tracer");
         let (comp, kind, payload) = match ev {
             Ev::CoreTick(i) => (t.core[*i], t.k.core_tick, 0),
             Ev::CoreMemDone(i, id) => (t.core[*i], t.k.core_mem_done, id.0),
@@ -751,7 +782,32 @@ impl System {
             Ev::HostPcuL1Resp(c, id) => (t.hpcu[*c], t.k.hpcu_l1_resp, id.0),
             Ev::HostPcuMemResult(c, id, _) => (t.hpcu[*c], t.k.hpcu_mem_result, id.0),
         };
-        t.sink.record(now, comp, kind, payload);
+        self.emit_record(now, comp, kind, payload);
+    }
+
+    /// Delivers one trace record: straight to the sink in sequential
+    /// runs, into the host-side buffer during sharded runs (merged at
+    /// the next epoch barrier in deterministic order).
+    #[cold]
+    fn emit_record(
+        &mut self,
+        cycle: Cycle,
+        comp: pei_trace::CompId,
+        kind: pei_trace::KindId,
+        payload: u64,
+    ) {
+        match &mut self.shard_trace {
+            Some(buf) => buf.push(pei_trace::Record {
+                cycle,
+                comp,
+                kind,
+                payload,
+            }),
+            None => {
+                let t = self.tracer.as_mut().expect("record requires a tracer");
+                t.sink.record(cycle, comp, kind, payload);
+            }
+        }
     }
 
     /// Records a phase boundary (`start`) or group completion; payload
@@ -759,14 +815,15 @@ impl System {
     /// the low half.
     #[cold]
     fn trace_mark(&mut self, now: Cycle, start: bool, g: usize, phase_no: u64) {
-        let t = self.tracer.as_mut().expect("trace_mark requires a tracer");
+        let t = self.tracer.as_ref().expect("trace_mark requires a tracer");
         let kind = if start {
             t.k.phase_start
         } else {
             t.k.group_done
         };
+        let comp = t.system;
         let payload = ((g as u64) << 32) | (phase_no & 0xffff_ffff);
-        t.sink.record(now, t.system, kind, payload);
+        self.emit_record(now, comp, kind, payload);
     }
 
     /// Sends over the crossbar, capturing the message when tracing; the
@@ -775,14 +832,16 @@ impl System {
     fn xsend(&mut self, port: usize, at: Cycle, payload: XbarPayload) -> Cycle {
         self.xsends += 1;
         let delivered = self.xbar.send(port, at, payload);
-        if let Some(t) = &mut self.tracer {
+        if self.tracer.is_some() {
+            let t = self.tracer.as_ref().expect("checked is_some");
+            let (comp, kind) = (t.xbar, t.k.xbar_msg);
             let packed = ((port as u64) << 32) | ((delivered - at) & 0xffff_ffff);
-            t.sink.record(at, t.xbar, t.k.xbar_msg, packed);
+            self.emit_record(at, comp, kind, packed);
         }
         delivered
     }
 
-    fn dispatch(&mut self, now: Cycle, ev: Ev) {
+    pub(crate) fn dispatch(&mut self, now: Cycle, ev: Ev) {
         if self.tracer.is_some() {
             self.trace_ev(now, &ev);
         }
@@ -866,7 +925,15 @@ impl System {
             }
             Ev::MemPcuVaultDone(v, id, write) => {
                 let mut outs = std::mem::take(&mut self.ob_mpcu);
-                self.mem_pcus[v].on_vault_done(now, id, write, &mut self.store, &mut outs);
+                match &mut self.store {
+                    StoreSlot::Owned(mem) => {
+                        self.mem_pcus[v].on_vault_done(now, id, write, mem, &mut outs);
+                    }
+                    StoreSlot::Shared(mem) => {
+                        let mut mem = mem.lock().expect("store mutex");
+                        self.mem_pcus[v].on_vault_done(now, id, write, &mut mem, &mut outs);
+                    }
+                }
                 self.route_mem_pcu(v, &mut outs);
                 self.ob_mpcu = outs;
             }
@@ -891,7 +958,15 @@ impl System {
             }
             Ev::HostPcuL1Resp(c, id) => {
                 let mut outs = std::mem::take(&mut self.ob_hpcu);
-                self.host_pcus[c].on_l1_resp(now, id, &mut self.store, &mut outs);
+                match &mut self.store {
+                    StoreSlot::Owned(mem) => {
+                        self.host_pcus[c].on_l1_resp(now, id, mem, &mut outs);
+                    }
+                    StoreSlot::Shared(mem) => {
+                        let mut mem = mem.lock().expect("store mutex");
+                        self.host_pcus[c].on_l1_resp(now, id, &mut mem, &mut outs);
+                    }
+                }
                 self.route_host_pcu(c, &mut outs);
                 self.ob_hpcu = outs;
             }
@@ -1045,17 +1120,30 @@ impl System {
         }
     }
 
+    /// Schedules a cube-owned event: straight onto the global queue in
+    /// sequential runs, into the cube's outbox in sharded runs (where
+    /// the driver delivers it across the epoch barrier).
+    #[inline]
+    fn sched_cube(&mut self, cube: usize, at: Cycle, ev: Ev) {
+        match &mut self.cube_out {
+            None => self.queue.schedule(at, ev),
+            Some(boxes) => boxes[cube].push((at, ev)),
+        }
+    }
+
     fn route_ctrl(&mut self, outs: &mut Outbox<CtrlOut>) {
         let vpc = self.cfg.hmc.vaults_per_cube;
         for out in outs.drain() {
             match out {
+                // The two host→cube edges of the shard topology: every
+                // other controller output stays host-side.
                 CtrlOut::ToVault { loc, access, at } => {
-                    self.queue
-                        .schedule(at, Ev::VaultAcc(loc.flat_index(vpc), access));
+                    let ev = Ev::VaultAcc(loc.flat_index(vpc), access);
+                    self.sched_cube(loc.cube.index(), at, ev);
                 }
                 CtrlOut::PimToVault { loc, cmd, at } => {
-                    self.queue
-                        .schedule(at, Ev::MemPcuCmd(loc.flat_index(vpc), Box::new(cmd)));
+                    let ev = Ev::MemPcuCmd(loc.flat_index(vpc), Box::new(cmd));
+                    self.sched_cube(loc.cube.index(), at, ev);
                 }
                 CtrlOut::ReadResp { id, block, at } => {
                     let bank = self.bank_of(block);
@@ -1079,47 +1167,19 @@ impl System {
 
     fn route_vault(&mut self, v: usize, outs: &mut Outbox<VaultOut>) {
         let vpc = self.cfg.hmc.vaults_per_cube;
+        let q = &mut self.queue;
         for out in outs.drain() {
-            match out {
-                VaultOut::Done {
-                    id,
-                    block,
-                    write,
-                    at,
-                } => match id.namespace() {
-                    ns::L3 if !write => {
-                        self.queue
-                            .schedule(at, Ev::CtrlMemReadDone(id, block, (v / vpc) as u16));
-                    }
-                    // Writebacks complete silently.
-                    ns::MEM_PCU => {
-                        self.queue.schedule(at, Ev::MemPcuVaultDone(v, id, write));
-                    }
-                    _ => {} // writeback with a null id: no response
-                },
-                VaultOut::Wake { at } => self.queue.schedule(at, Ev::VaultWake(v)),
-            }
+            // Sequentially, cube-local and cube→host messages land on
+            // the same global queue.
+            deliver_vault_out(vpc, v, out, &mut |_, at, ev| q.schedule(at, ev));
         }
     }
 
     fn route_mem_pcu(&mut self, v: usize, outs: &mut Outbox<MemPcuOut>) {
         let vpc = self.cfg.hmc.vaults_per_cube;
+        let q = &mut self.queue;
         for out in outs.drain() {
-            match out {
-                MemPcuOut::VaultAccess {
-                    id,
-                    block,
-                    write,
-                    at,
-                } => {
-                    self.queue
-                        .schedule(at, Ev::VaultAcc(v, VaultIn { id, block, write }));
-                }
-                MemPcuOut::Complete { resp, at } => {
-                    self.queue
-                        .schedule(at, Ev::CtrlMemPimDone((v / vpc) as u16, Box::new(resp)));
-                }
-            }
+            deliver_mem_pcu_out(vpc, v, out, &mut |_, at, ev| q.schedule(at, ev));
         }
     }
 
@@ -1215,8 +1275,17 @@ impl System {
     }
 
     /// Read access to the simulated memory (for result validation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while a sharded run is in progress (the store
+    /// is then shared with the cube shards); it is owned again the
+    /// moment `run`/`run_sharded` returns.
     pub fn store(&self) -> &BackingStore {
-        &self.store
+        match &self.store {
+            StoreSlot::Owned(mem) => mem,
+            StoreSlot::Shared(_) => panic!("store is shared during a sharded run"),
+        }
     }
 
     /// Records a violation observed by the routing layer itself (as
@@ -1227,7 +1296,7 @@ impl System {
         self.violations.push(v);
     }
 
-    fn result(&mut self, outcome: RunOutcome) -> RunResult {
+    pub(crate) fn result(&mut self, outcome: RunOutcome) -> RunResult {
         let mut stats = StatsReport::new();
         for c in &self.cores {
             c.report("core.", &mut stats);
@@ -1279,7 +1348,10 @@ impl System {
         let cycles = self.finish_time.max(1);
         stats.add("sim.cycles", cycles as f64);
         stats.add("sim.instructions", instructions as f64);
-        stats.add("sim.events", self.queue.total_scheduled() as f64);
+        stats.add(
+            "sim.events",
+            (self.queue.total_scheduled() + self.foreign_events.0) as f64,
+        );
 
         RunResult {
             cycles,
@@ -1296,6 +1368,82 @@ impl System {
             energy,
             stats,
             outcome,
+        }
+    }
+}
+
+/// Where a cube-side component's output event must be delivered: back
+/// onto the cube's own queue, or across the shard boundary to the host
+/// (the controller's memory side). Sequential runs collapse both onto
+/// the global queue.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Dest {
+    /// Stays on the queue owning vault `v` (cube-local).
+    Local,
+    /// Crosses to the host shard (link controller completions).
+    Host,
+}
+
+/// Routes one vault output message, shared verbatim between the
+/// sequential loop ([`System::route_vault`]) and the cube shards
+/// (`crate::shard`): the policy of *what* each message becomes lives
+/// here once; only the delivery mechanism differs via `sched`.
+pub(crate) fn deliver_vault_out(
+    vpc: usize,
+    v: usize,
+    out: VaultOut,
+    sched: &mut impl FnMut(Dest, Cycle, Ev),
+) {
+    match out {
+        VaultOut::Done {
+            id,
+            block,
+            write,
+            at,
+        } => match id.namespace() {
+            ns::L3 if !write => {
+                sched(
+                    Dest::Host,
+                    at,
+                    Ev::CtrlMemReadDone(id, block, (v / vpc) as u16),
+                );
+            }
+            // Writebacks complete silently.
+            ns::MEM_PCU => {
+                sched(Dest::Local, at, Ev::MemPcuVaultDone(v, id, write));
+            }
+            _ => {} // writeback with a null id: no response
+        },
+        VaultOut::Wake { at } => sched(Dest::Local, at, Ev::VaultWake(v)),
+    }
+}
+
+/// Routes one memory-side PCU output; see [`deliver_vault_out`].
+pub(crate) fn deliver_mem_pcu_out(
+    vpc: usize,
+    v: usize,
+    out: MemPcuOut,
+    sched: &mut impl FnMut(Dest, Cycle, Ev),
+) {
+    match out {
+        MemPcuOut::VaultAccess {
+            id,
+            block,
+            write,
+            at,
+        } => {
+            sched(
+                Dest::Local,
+                at,
+                Ev::VaultAcc(v, VaultIn { id, block, write }),
+            );
+        }
+        MemPcuOut::Complete { resp, at } => {
+            sched(
+                Dest::Host,
+                at,
+                Ev::CtrlMemPimDone((v / vpc) as u16, Box::new(resp)),
+            );
         }
     }
 }
