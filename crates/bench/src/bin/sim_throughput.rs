@@ -38,6 +38,14 @@
 //! sharded schedule is a different valid event ordering than the
 //! sequential engine's, so compare sharded records against sharded
 //! baselines. `--paper` selects the paper-scale machine.
+//!
+//! `--fork-bench` measures warm-state forking instead of the per-cell
+//! mix: a four-policy × three-workload grid is run twice — once cold
+//! (every cell replays its warmup prefix) and once with snapshot
+//! forking (`pei_bench::runner::run_specs_forked`, DESIGN.md §11) —
+//! and the record's two rows carry the whole-grid wall-clock pair
+//! (EXPERIMENTS.md §"Warm-fork speedup"). The two grids' simulated
+//! results are asserted identical before anything is recorded.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -77,6 +85,7 @@ struct Args {
     append: bool,
     traced: bool,
     checked: bool,
+    fork_bench: bool,
 }
 
 fn parse_args() -> Args {
@@ -90,6 +99,7 @@ fn parse_args() -> Args {
     let mut append = false;
     let mut traced = false;
     let mut checked = false;
+    let mut fork_bench = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -121,6 +131,7 @@ fn parse_args() -> Args {
             "--append" => append = true,
             "--traced" => traced = true,
             "--checked" => checked = true,
+            "--fork-bench" => fork_bench = true,
             "--paper" => opts.paper_machine = true,
             "--shards" => {
                 let n: usize = args
@@ -132,7 +143,7 @@ fn parse_args() -> Args {
                 opts.shards = Some(n);
             }
             other => panic!(
-                "unknown argument `{other}` (--scale, --paper, --seed, --repeat, --label, --out, --append, --traced, --checked, --shards)"
+                "unknown argument `{other}` (--scale, --paper, --seed, --repeat, --label, --out, --append, --traced, --checked, --shards, --fork-bench)"
             ),
         }
     }
@@ -144,6 +155,7 @@ fn parse_args() -> Args {
         append,
         traced,
         checked,
+        fork_bench,
     }
 }
 
@@ -198,13 +210,135 @@ fn record_json(args: &Args, runs: &[Measured]) -> String {
     s
 }
 
-fn main() {
-    let args = parse_args();
-    let mut runs = Vec::new();
+/// The `--fork-bench` grid: every workload of the mix under all four
+/// policies, so each workload contributes two fork groups (host/pim and
+/// the two locality-aware policies) of two cells each.
+fn fork_bench_specs(args: &Args) -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for w in [Workload::Atf, Workload::Hj, Workload::Sc] {
+        for policy in [
+            DispatchPolicy::HostOnly,
+            DispatchPolicy::PimOnly,
+            DispatchPolicy::LocalityAware,
+            DispatchPolicy::LocalityAwareBalanced,
+        ] {
+            let mut spec = RunSpec::sized(
+                args.opts.machine(policy),
+                args.opts.workload_params(),
+                w,
+                InputSize::Medium,
+            );
+            spec.check = args.checked;
+            specs.push(spec);
+        }
+    }
+    specs
+}
+
+/// Times the fork-bench grid cold and forked, asserts the two result
+/// sets identical, and returns one row per mode with whole-grid totals.
+fn run_fork_bench(args: &Args) -> Vec<Measured> {
+    assert!(
+        args.opts.shards.is_none() && !args.traced,
+        "--fork-bench measures the plain sequential runner (no --shards/--traced)"
+    );
+    let specs = fork_bench_specs(args);
+    let mut rows = Vec::new();
+    let mut reference: Option<Vec<pei_system::RunResult>> = None;
+    for (mode, fork) in [("cold-grid", false), ("forked-grid", true)] {
+        let mut wall_s = f64::INFINITY;
+        let mut results: Option<Vec<pei_system::RunResult>> = None;
+        for _ in 0..args.repeat {
+            let t0 = Instant::now();
+            let r = pei_bench::runner::run_specs_forked(&specs, 1, fork);
+            wall_s = wall_s.min(t0.elapsed().as_secs_f64().max(1e-9));
+            results = Some(r);
+        }
+        let results = results.expect("repeat >= 1");
+        match &reference {
+            None => reference = Some(results.clone()),
+            Some(cold) => {
+                for (c, f) in cold.iter().zip(&results) {
+                    assert_eq!(c.cycles, f.cycles, "forked grid diverged from cold grid");
+                    assert_eq!(c.stats, f.stats, "forked grid diverged from cold grid");
+                }
+            }
+        }
+        let (events, sim_cycles) = results.iter().fold((0u64, 0u64), |(e, c), r| {
+            (e + r.stats.expect("sim.events") as u64, c + r.cycles)
+        });
+        rows.push(Measured {
+            workload: "atf+hj+sc x4pol",
+            policy: mode,
+            events,
+            sim_cycles,
+            wall_s,
+        });
+    }
+    rows
+}
+
+/// Prints the header line shared by both tables.
+fn print_header() {
     println!(
-        "{:<10} {:>15} {:>12} {:>12} {:>9} {:>12} {:>14}",
+        "{:<16} {:>15} {:>12} {:>12} {:>9} {:>12} {:>14}",
         "workload", "policy", "events", "sim_cycles", "wall_s", "events/s", "sim_cycles/s"
     );
+}
+
+/// Prints one measured row.
+fn print_row(m: &Measured) {
+    println!(
+        "{:<16} {:>15} {:>12} {:>12} {:>9.3} {:>12.0} {:>14.0}",
+        m.workload,
+        m.policy,
+        m.events,
+        m.sim_cycles,
+        m.wall_s,
+        m.events as f64 / m.wall_s,
+        m.sim_cycles as f64 / m.wall_s,
+    );
+}
+
+/// Serializes the record and writes (or `--append`-splices) it to
+/// `--out`.
+fn write_record(args: &Args, runs: &[Measured]) {
+    let record = record_json(args, runs);
+    let body = match std::fs::read_to_string(&args.out) {
+        Ok(existing) if args.append => {
+            // The file is a JSON array of records; splice before the
+            // closing bracket. Fall back to replacing on any mismatch.
+            match existing.trim_end().strip_suffix(']') {
+                Some(head) if head.trim_start().starts_with('[') => {
+                    format!("{},\n{record}\n]\n", head.trim_end())
+                }
+                _ => format!("[\n{record}\n]\n"),
+            }
+        }
+        _ => format!("[\n{record}\n]\n"),
+    };
+    std::fs::write(&args.out, body).expect("write BENCH_sim_throughput.json");
+    println!("wrote {}", args.out);
+}
+
+fn main() {
+    let args = parse_args();
+    if args.fork_bench {
+        let runs = run_fork_bench(&args);
+        print_header();
+        for m in &runs {
+            print_row(m);
+        }
+        let speedup = runs[0].wall_s / runs[1].wall_s;
+        println!(
+            "fork speedup: {speedup:.2}x (cold {:.3}s / forked {:.3}s)",
+            runs[0].wall_s, runs[1].wall_s
+        );
+        write_record(&args, &runs);
+        return;
+    }
+    let mut runs = Vec::new();
+    print_header();
     for (w, policy) in MIX {
         let mut spec = RunSpec::sized(
             args.opts.machine(policy),
@@ -238,23 +372,14 @@ fn main() {
             sim_cycles: res.cycles,
             wall_s,
         };
-        println!(
-            "{:<10} {:>15} {:>12} {:>12} {:>9.3} {:>12.0} {:>14.0}",
-            m.workload,
-            m.policy,
-            m.events,
-            m.sim_cycles,
-            m.wall_s,
-            m.events as f64 / m.wall_s,
-            m.sim_cycles as f64 / m.wall_s,
-        );
+        print_row(&m);
         runs.push(m);
     }
     let (ev, cy, wall) = runs.iter().fold((0u64, 0u64, 0f64), |(e, c, w), r| {
         (e + r.events, c + r.sim_cycles, w + r.wall_s)
     });
     println!(
-        "{:<10} {:>15} {:>12} {:>12} {:>9.3} {:>12.0} {:>14.0}",
+        "{:<16} {:>15} {:>12} {:>12} {:>9.3} {:>12.0} {:>14.0}",
         "TOTAL",
         "",
         ev,
@@ -263,21 +388,5 @@ fn main() {
         ev as f64 / wall,
         cy as f64 / wall,
     );
-
-    let record = record_json(&args, &runs);
-    let body = match std::fs::read_to_string(&args.out) {
-        Ok(existing) if args.append => {
-            // The file is a JSON array of records; splice before the
-            // closing bracket. Fall back to replacing on any mismatch.
-            match existing.trim_end().strip_suffix(']') {
-                Some(head) if head.trim_start().starts_with('[') => {
-                    format!("{},\n{record}\n]\n", head.trim_end())
-                }
-                _ => format!("[\n{record}\n]\n"),
-            }
-        }
-        _ => format!("[\n{record}\n]\n"),
-    };
-    std::fs::write(&args.out, body).expect("write BENCH_sim_throughput.json");
-    println!("wrote {}", args.out);
+    write_record(&args, &runs);
 }

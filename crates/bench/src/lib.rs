@@ -23,7 +23,11 @@
 //!   conservation, operand accounting, event population; see
 //!   `pei_system::check` and DESIGN.md §9), and failed cells surface
 //!   structured failure reports on stderr while sibling cells keep
-//!   running.
+//!   running;
+//! * `--no-fork` — run every grid cell cold instead of forking a warmed
+//!   snapshot across cells that share a pre-PEI prefix (see
+//!   [`runner::run_specs_forked`] and DESIGN.md §11). Results are
+//!   byte-identical either way; forking only saves wall-clock time.
 //!
 //! Binaries describe their grid as [`runner::RunSpec`]s collected into a
 //! [`runner::Batch`], run it once, and print from the ordered results.
@@ -35,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bisect;
 pub mod runner;
 pub mod tracecap;
 
@@ -97,6 +102,12 @@ pub struct ExpOptions {
     /// structured reports instead of panicking. Results are
     /// byte-identical to unchecked runs unless a checker fires.
     pub check: bool,
+    /// Disable warm-state forking: run every cell cold instead of
+    /// letting policy siblings share a snapshot taken at the first PEI
+    /// (see [`runner::run_specs_forked`]). Results are byte-identical
+    /// either way; this is the escape hatch for timing the warmup
+    /// itself or isolating a suspected fork bug.
+    pub no_fork: bool,
 }
 
 impl Default for ExpOptions {
@@ -111,6 +122,7 @@ impl Default for ExpOptions {
             shards: None,
             trace: None,
             check: false,
+            no_fork: false,
         }
     }
 }
@@ -167,9 +179,10 @@ impl ExpOptions {
                     opts.trace = Some(args.next().expect("--trace needs a path").into());
                 }
                 "--check" => opts.check = true,
+                "--no-fork" => opts.no_fork = true,
                 other => {
                     panic!(
-                        "unknown argument `{other}` (--scale, --paper, --seed, --jobs, --shards, --trace, --check)"
+                        "unknown argument `{other}` (--scale, --paper, --seed, --jobs, --shards, --trace, --check, --no-fork)"
                     )
                 }
             }

@@ -51,8 +51,13 @@
 //! ```
 
 use crate::{ExpOptions, CYCLE_LIMIT};
-use pei_system::{CheckConfig, FaultPlan, MachineConfig, RunResult, System};
+use pei_core::DispatchPolicy;
+use pei_system::{
+    CheckConfig, FaultPlan, MachineConfig, PauseAt, RunResult, RunStatus, Snapshot, System,
+};
 use pei_workloads::{cache, InputSize, Workload, WorkloadParams};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -333,6 +338,11 @@ impl Batch {
     /// checked mode for every cell, and `--shards` moves every cell
     /// onto the sharded engine. The one-line change that gives a figure
     /// binary the full sanitizer and parallel-engine surface.
+    ///
+    /// Cells that differ only in dispatch policy (within one PMU monitor
+    /// class) share a warmed snapshot instead of each replaying the
+    /// pre-PEI prefix (see [`run_specs_forked`]); `--no-fork` falls back
+    /// to cold runs. Results are identical either way.
     pub fn run_with(mut self, opts: &ExpOptions) -> Vec<RunResult> {
         for spec in &mut self.specs {
             if opts.check {
@@ -342,7 +352,7 @@ impl Batch {
                 spec.shards = opts.shards;
             }
         }
-        run_specs(&self.specs, opts.jobs)
+        run_specs_forked(&self.specs, opts.jobs, !opts.no_fork)
     }
 }
 
@@ -389,6 +399,153 @@ pub fn run_specs(specs: &[RunSpec], jobs: usize) -> Vec<RunResult> {
     };
     report_failures(specs, &results);
     results
+}
+
+/// Like [`run_specs`], but with warm-state forking: cells that share
+/// everything except dispatch policy — and whose policies fall in the
+/// same PMU monitor class (`DispatchPolicy::uses_monitor`, DESIGN.md
+/// §11) — run the pre-PEI warmup prefix **once**, snapshot the machine
+/// at the first PEI ([`PauseAt::FirstPei`]), and restore that snapshot
+/// per cell instead of replaying the prefix. Until the first PEI no
+/// policy decision has been taken and the locality monitor has shadowed
+/// the same L3 traffic for every policy in the class, so the forked
+/// results are byte-identical to cold runs.
+///
+/// `fork == false` degrades to [`run_specs`] exactly. Cells that cannot
+/// share (fault plans, sharded engine, singleton groups) and groups
+/// whose warmup completes the whole run or fails to snapshot fall back
+/// to cold runs per cell — forking is an optimization, never a
+/// requirement. Workers claim whole groups, so the group's snapshot
+/// lives on one worker's stack and is dropped before the next claim.
+///
+/// # Panics
+///
+/// Panics if `jobs == 0`, or propagates the panic of any failed cell.
+pub fn run_specs_forked(specs: &[RunSpec], jobs: usize, fork: bool) -> Vec<RunResult> {
+    assert!(jobs > 0, "--jobs must be at least 1");
+    if !fork {
+        return run_specs(specs, jobs);
+    }
+    // Group cells by warm prefix, preserving first-occurrence order so
+    // the schedule (and any fallback stderr output) is deterministic.
+    let mut key_to_group: HashMap<String, usize> = HashMap::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        match fork_key(spec) {
+            Some(key) => match key_to_group.entry(key) {
+                Entry::Occupied(e) => groups[*e.get()].push(i),
+                Entry::Vacant(e) => {
+                    e.insert(groups.len());
+                    groups.push(vec![i]);
+                }
+            },
+            None => groups.push(vec![i]),
+        }
+    }
+    let workers = jobs.min(groups.len());
+    let results: Vec<RunResult> = if workers <= 1 {
+        let mut slots: Vec<Option<RunResult>> = specs.iter().map(|_| None).collect();
+        for group in &groups {
+            for (i, result) in run_group(specs, group) {
+                slots[i] = Some(result);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every spec is in exactly one group"))
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RunResult>>> = specs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let g = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(group) = groups.get(g) else { break };
+                    for (i, result) in run_group(specs, group) {
+                        *slots[i].lock().unwrap() = Some(result);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("worker panicked; result slot poisoned")
+                    .expect("every spec is in exactly one group")
+            })
+            .collect()
+    };
+    report_failures(specs, &results);
+    results
+}
+
+/// The warm-prefix sharing key of a spec: `Some` iff the cell is
+/// eligible for forking, with two specs sharing a warmed snapshot iff
+/// their keys are equal. The key is the spec with its policy collapsed
+/// to a monitor-class representative — everything before the first PEI
+/// is policy-independent within a class, so that is exactly the state
+/// the cells may share.
+fn fork_key(spec: &RunSpec) -> Option<String> {
+    if spec.fault.is_some() || spec.shards.is_some() {
+        // Faults arm at build time (snapshots refuse armed faults), and
+        // the sharded engine re-partitions per run; neither forks.
+        return None;
+    }
+    let mut cfg = spec.cfg;
+    cfg.policy = if cfg.policy.uses_monitor() {
+        DispatchPolicy::LocalityAware
+    } else {
+        DispatchPolicy::HostOnly
+    };
+    Some(format!(
+        "{cfg:?}|{:?}|{:?}|{}|{}",
+        spec.params, spec.input, spec.max_cycles, spec.check
+    ))
+}
+
+/// Runs the warmup prefix of `spec` — build, arm, execute up to the
+/// first PEI — and snapshots the paused machine. `None` when the cell
+/// is ineligible (its fork key is `None`), when the run completes
+/// without ever issuing a PEI, or when the paused machine refuses to
+/// snapshot; callers fall back to cold runs.
+pub fn warm_snapshot(spec: &RunSpec) -> Option<Snapshot> {
+    fork_key(spec)?;
+    let mut sys = spec.build();
+    spec.arm(&mut sys);
+    match sys.run_paused(spec.max_cycles, Some(PauseAt::FirstPei)) {
+        RunStatus::Paused { .. } => sys.snapshot().ok(),
+        RunStatus::Completed(_) => None,
+    }
+}
+
+/// Finishes `spec` from a warmed snapshot: builds the cell's machine
+/// (the restore target must carry the same workload and backing store),
+/// restores `snap` over it, and runs to completion. Falls back to a
+/// cold [`RunSpec::run`] if the snapshot doesn't fit this spec.
+pub fn run_from_warm(spec: &RunSpec, snap: &Snapshot) -> RunResult {
+    let mut sys = spec.build();
+    spec.arm(&mut sys);
+    match sys.restore(snap) {
+        Ok(()) => spec.drive(&mut sys),
+        Err(_) => spec.run(),
+    }
+}
+
+/// Runs one fork group: warm once and restore per member when the group
+/// can share (two or more cells and the warmup snapshot materializes),
+/// cold runs otherwise. Returns `(spec index, result)` pairs.
+fn run_group(specs: &[RunSpec], members: &[usize]) -> Vec<(usize, RunResult)> {
+    if members.len() >= 2 {
+        if let Some(snap) = warm_snapshot(&specs[members[0]]) {
+            return members
+                .iter()
+                .map(|&i| (i, run_from_warm(&specs[i], &snap)))
+                .collect();
+        }
+    }
+    members.iter().map(|&i| (i, specs[i].run())).collect()
 }
 
 /// Prints each failed cell's spec and failure report to stderr; silent
@@ -481,6 +638,78 @@ mod tests {
             assert_eq!(a.instructions, b.instructions);
             assert_eq!(a.stats, b.stats);
         }
+    }
+
+    /// A four-policy grid: both monitor classes are populated with two
+    /// policies each, so forking shares two warmed snapshots per
+    /// workload instead of running four cold prefixes.
+    fn policy_grid() -> Vec<RunSpec> {
+        let opts = ExpOptions {
+            seed: 7,
+            ..ExpOptions::default()
+        };
+        let mut params = opts.workload_params();
+        params.pei_budget = 2_000;
+        let mut specs = Vec::new();
+        for w in [Workload::Atf, Workload::Hj] {
+            for policy in [
+                DispatchPolicy::HostOnly,
+                DispatchPolicy::PimOnly,
+                DispatchPolicy::LocalityAware,
+                DispatchPolicy::LocalityAwareBalanced,
+            ] {
+                specs.push(RunSpec::sized(
+                    opts.machine(policy),
+                    params,
+                    w,
+                    InputSize::Small,
+                ));
+            }
+        }
+        specs
+    }
+
+    #[test]
+    fn forked_matches_cold_cell_for_cell() {
+        let specs = policy_grid();
+        let cold = run_specs_forked(&specs, 1, false);
+        let forked = run_specs_forked(&specs, 2, true);
+        assert_eq!(cold.len(), forked.len());
+        for (c, f) in cold.iter().zip(&forked) {
+            assert_eq!(c.cycles, f.cycles);
+            assert_eq!(c.instructions, f.instructions);
+            assert_eq!(c.peis, f.peis);
+            assert_eq!(c.stats, f.stats);
+        }
+    }
+
+    #[test]
+    fn fork_keys_group_by_monitor_class() {
+        let specs = policy_grid();
+        // Per workload: HostOnly+PimOnly share one key, the two
+        // locality-aware policies share another.
+        assert_eq!(fork_key(&specs[0]), fork_key(&specs[1]));
+        assert_eq!(fork_key(&specs[2]), fork_key(&specs[3]));
+        assert_ne!(fork_key(&specs[0]), fork_key(&specs[2]));
+        assert_ne!(fork_key(&specs[0]), fork_key(&specs[4]));
+        // Faulted and sharded cells never fork.
+        let mut sharded = specs[0].clone();
+        sharded.shards = Some(2);
+        assert_eq!(fork_key(&sharded), None);
+    }
+
+    #[test]
+    fn warm_snapshot_feeds_every_policy_in_its_class() {
+        let specs = policy_grid();
+        let snap = warm_snapshot(&specs[2]).expect("warmup reaches a PEI");
+        let warm_la = run_from_warm(&specs[2], &snap);
+        let warm_lab = run_from_warm(&specs[3], &snap);
+        let cold_la = specs[2].run();
+        let cold_lab = specs[3].run();
+        assert_eq!(warm_la.stats, cold_la.stats);
+        assert_eq!(warm_lab.stats, cold_lab.stats);
+        assert_eq!(warm_la.cycles, cold_la.cycles);
+        assert_eq!(warm_lab.cycles, cold_lab.cycles);
     }
 
     #[test]

@@ -1,0 +1,48 @@
+//! Leak-cache interning of `&'static str` labels.
+//!
+//! Counter banks and phase marks hold `&'static str` labels so the hot
+//! path never allocates. Snapshot restore, however, decodes labels from
+//! bytes at runtime; this cache promotes them back to `'static`
+//! references, deduplicated so repeated restores leak each distinct
+//! label at most once (phase labels are a handful of short strings per
+//! process, so the leak is bounded and deliberate).
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+static CACHE: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+
+/// Returns a `'static` string equal to `s`, leaking at most one copy of
+/// each distinct value per process.
+///
+/// # Examples
+///
+/// ```
+/// use pei_engine::intern_label;
+///
+/// let a = intern_label("warmup");
+/// let b = intern_label(&String::from("warmup"));
+/// assert!(std::ptr::eq(a, b));
+/// ```
+pub fn intern_label(s: &str) -> &'static str {
+    let mut cache = CACHE.lock().expect("intern cache poisoned");
+    if let Some(&hit) = cache.get(s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    cache.insert(leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups() {
+        let a = intern_label("phase-x");
+        let b = intern_label("phase-x");
+        assert!(std::ptr::eq(a, b));
+        assert_ne!(intern_label("phase-y"), "phase-x");
+    }
+}

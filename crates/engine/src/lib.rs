@@ -29,6 +29,7 @@ pub mod barrier;
 pub mod channel;
 pub mod clock;
 pub mod counters;
+pub mod intern;
 pub mod outbox;
 pub mod queue;
 pub mod rng;
@@ -38,6 +39,7 @@ pub use barrier::EpochBarrier;
 pub use channel::{BwChannel, Occupancy, OccupancyPool};
 pub use clock::ClockDomain;
 pub use counters::{CounterId, Counters};
+pub use intern::intern_label;
 pub use outbox::Outbox;
 pub use queue::EventQueue;
 pub use rng::SimRng;

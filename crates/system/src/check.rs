@@ -166,6 +166,21 @@ impl FailureReport {
     /// streaming sink, returning the number of records written (0 if
     /// the run carried no retained events).
     ///
+    /// # Sharded runs
+    ///
+    /// On a run that stalled under the sharded engine
+    /// (`System::run_sharded`, DESIGN.md §10), the window holds the
+    /// *barrier-merged* record stream: each cube shard's records are
+    /// swapped to the host at every epoch barrier and merged in
+    /// deterministic order before the watchdog's stall check runs, so
+    /// nothing dispatched before the stall is lost and the saved bytes
+    /// are identical for every `--shards N`. The window ends at the
+    /// epoch barrier where the stall was declared, which may be later
+    /// than [`cycle`](FailureReport::cycle) (the last *dispatched*
+    /// event); no partial-epoch records exist past it. As in
+    /// sequential runs, the checked-mode ring still truncates to the
+    /// last `CheckConfig::window` records.
+    ///
     /// # Errors
     ///
     /// Propagates I/O failures from [`StreamSink`].
@@ -341,7 +356,9 @@ pub(crate) struct CheckState {
     pub(crate) cfg: CheckConfig,
     pub(crate) next_sweep: Cycle,
     /// `(cache index, block)` → cycle first observed outstanding.
-    mshr_seen: HashMap<(usize, u64), Cycle>,
+    /// `pub(crate)` so snapshot/restore can carry it across a pause
+    /// (a resumed checked run must age MSHR entries identically).
+    pub(crate) mshr_seen: HashMap<(usize, u64), Cycle>,
     /// Scratch for the MESI sweep, keyed by block.
     mesi_scratch: HashMap<u64, MesiEntry>,
 }

@@ -37,6 +37,7 @@ pub mod check;
 pub mod config;
 pub mod energy;
 mod shard;
+pub mod snapshot;
 pub mod system;
 mod tracer;
 
@@ -45,4 +46,5 @@ pub use check::{
 };
 pub use config::MachineConfig;
 pub use energy::{EnergyBreakdown, EnergyInputs, EnergyModel};
-pub use system::{RunResult, System};
+pub use snapshot::Snapshot;
+pub use system::{PauseAt, RunResult, RunStatus, System};

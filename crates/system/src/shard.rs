@@ -257,6 +257,16 @@ enum HostStop {
 enum StepOutcome {
     Done,
     Fail(FailureKind, Cycle),
+    /// A `pause_at` bound was reached at an epoch barrier with work
+    /// outstanding. Carries the super-step seed the resumed driver
+    /// starts from and the undelivered host→cube mailboxes
+    /// (`drive_threaded` fills `inboxes` in after the workers park).
+    Paused {
+        at: Cycle,
+        step: u64,
+        last: Cycle,
+        inboxes: Vec<Vec<(Cycle, Ev)>>,
+    },
 }
 
 /// Step commands the host publishes to worker threads.
@@ -411,29 +421,135 @@ impl System {
     /// # Panics
     ///
     /// Panics on harness misuse: no workload assigned, `threads == 0`,
-    /// or a machine whose `link_latency < 2` (no lookahead to shard
-    /// on).
+    /// a machine whose `link_latency < 2` (no lookahead to shard
+    /// on), or a machine paused mid-run by the *sequential* engine
+    /// (its host queue still holds cube-owned events; resume it with
+    /// [`run`](System::run)).
     pub fn run_sharded(&mut self, max_cycles: Cycle, threads: usize) -> RunResult {
+        match self.run_sharded_paused(max_cycles, threads, None) {
+            crate::system::RunStatus::Completed(r) => r,
+            crate::system::RunStatus::Paused { .. } => {
+                unreachable!("run_sharded_paused without a pause bound never pauses")
+            }
+        }
+    }
+
+    /// [`run_sharded`](System::run_sharded), but optionally pausing at
+    /// the first epoch barrier at or after `pause_at` with all machine
+    /// state intact (the sharded counterpart of
+    /// [`run_paused`](System::run_paused); `PauseAt::FirstPei` warm
+    /// runs use the sequential engine).
+    ///
+    /// Both drivers follow the identical super-step schedule, so the
+    /// pause cut — and the snapshot taken at it — is byte-identical
+    /// under any `threads` count, and a paused machine may resume under
+    /// a *different* thread count. While paused, the cube shards'
+    /// queues are held on the machine ([`System::snapshot`] serializes
+    /// them); calling this again resumes, and a `pause_at` in the past
+    /// pauses again at the very next barrier.
+    pub fn run_sharded_paused(
+        &mut self,
+        max_cycles: Cycle,
+        threads: usize,
+        pause_at: Option<Cycle>,
+    ) -> crate::system::RunStatus {
+        use crate::system::RunStatus;
         assert!(threads >= 1, "run_sharded needs at least one thread");
         assert!(!self.groups.is_empty(), "no workload assigned");
+        let resume = self.shard_pause.take();
+        assert!(
+            resume.is_some() || self.dispatched == 0 || self.queue.is_empty(),
+            "machine was paused by the sequential engine; resume it with run()"
+        );
         let epoch = self.cfg.shard_epoch();
         let mut shards = self.partition();
+        let seed = match resume {
+            Some(pause) => {
+                let p = *pause;
+                assert_eq!(p.cubes.len(), shards.len(), "pause/config cube count");
+                for (sh, cp) in shards.iter_mut().zip(p.cubes) {
+                    for (at, ev) in cp.events {
+                        sh.queue.schedule(at, ev);
+                    }
+                    sh.queue.restore_accounting(cp.scheduled);
+                    sh.dispatched = cp.dispatched;
+                }
+                (p.step, p.last, p.inboxes)
+            }
+            None => (0, 0, shards.iter().map(|_| Vec::new()).collect()),
+        };
         for g in 0..self.groups.len() {
-            self.pull_phase(g, 0);
+            // Fresh machines seed phase 1 here; resumed/restored ones
+            // already carry their phase progress.
+            if self.groups[g].phases == 0 && !self.groups[g].done {
+                self.pull_phase(g, 0);
+            }
         }
         let workers = threads.saturating_sub(1).min(shards.len());
         let outcome = if workers == 0 {
-            self.drive_inline(&mut shards, epoch, max_cycles)
+            self.drive_inline(&mut shards, epoch, max_cycles, seed, pause_at)
         } else {
-            let (back, outcome) = self.drive_threaded(shards, epoch, max_cycles, workers);
+            let (back, outcome) =
+                self.drive_threaded(shards, epoch, max_cycles, workers, seed, pause_at);
             shards = back;
             outcome
         };
-        self.reassemble(shards);
         match outcome {
-            StepOutcome::Done => self.result(RunOutcome::Completed),
-            StepOutcome::Fail(kind, at) => self.fail(kind, at),
+            StepOutcome::Done => {
+                self.reassemble(shards);
+                RunStatus::Completed(self.result(RunOutcome::Completed))
+            }
+            StepOutcome::Fail(kind, at) => {
+                self.reassemble(shards);
+                RunStatus::Completed(self.fail(kind, at))
+            }
+            StepOutcome::Paused {
+                at,
+                step,
+                last,
+                inboxes,
+            } => {
+                self.pause_shards(shards, step, last, inboxes);
+                RunStatus::Paused { at }
+            }
         }
+    }
+
+    /// Parks a sharded run at an epoch barrier: drains every cube queue
+    /// in canonical order into a `ShardPause`
+    /// held on the machine, returns the cube components to their
+    /// sequential slots, and restores sequential-mode store/trace
+    /// routing. The inverse of the resume path in
+    /// [`run_sharded_paused`](System::run_sharded_paused).
+    fn pause_shards(
+        &mut self,
+        shards: Vec<CubeShard>,
+        step: u64,
+        last: Cycle,
+        inboxes: Vec<Vec<(Cycle, Ev)>>,
+    ) {
+        let mut cubes = Vec::with_capacity(shards.len());
+        for mut sh in shards {
+            let scheduled = sh.queue.total_scheduled();
+            let events = sh.queue.drain_ordered();
+            cubes.push(crate::snapshot::CubePause {
+                events,
+                scheduled,
+                dispatched: sh.dispatched,
+            });
+            self.vaults.extend(sh.vaults);
+            self.mem_pcus.extend(sh.mem_pcus);
+        }
+        self.cube_out = None;
+        self.flush_host_trace();
+        self.shard_trace = None;
+        self.store.unshare();
+        self.shard_pause = Some(Box::new(crate::snapshot::ShardPause {
+            step,
+            last,
+            cubes,
+            inboxes,
+        }));
     }
 
     /// Splits the cube-side components out of the `System` into one
@@ -592,12 +708,18 @@ impl System {
         shards: &mut [CubeShard],
         epoch: Cycle,
         max_cycles: Cycle,
+        seed: (u64, Cycle, Vec<Vec<(Cycle, Ev)>>),
+        pause_at: Option<Cycle>,
     ) -> StepOutcome {
-        let mut inboxes: Vec<Vec<(Cycle, Ev)>> = shards.iter().map(|_| Vec::new()).collect();
-        let mut step: u64 = 0;
-        let mut last: Cycle = 0;
-        let mut mark = self.pending_mark.take();
+        let (mut step, mut last, mut inboxes) = seed;
+        debug_assert_eq!(inboxes.len(), shards.len());
         loop {
+            // Taking the phase mark at the top of the body (instead of
+            // carrying it across the bottom of the previous iteration)
+            // is equivalent — `pending_mark` is only set by dispatches
+            // inside the loop — and leaves it on the machine when the
+            // loop exits through a pause, so it serializes.
+            let mark = self.pending_mark.take();
             let h_end = (step + 1) * epoch;
             let c_end = h_end + epoch;
             // "Parallel" phase: host window W_s, cube windows W_{s+1}.
@@ -656,7 +778,18 @@ impl System {
                     StepOutcome::Fail(FailureKind::Stalled, last)
                 };
             }
-            mark = self.pending_mark.take();
+            if pause_at.is_some_and(|t| h_end >= t) {
+                // At this barrier the cube buffers are drained and the
+                // inboxes hold exactly this step's host→cube deliveries:
+                // the machine is fully described by (shards, inboxes,
+                // next step) — precisely what ShardPause serializes.
+                return StepOutcome::Paused {
+                    at: h_end,
+                    step: next_step(step, epoch, h_next, c_next),
+                    last,
+                    inboxes: std::mem::take(&mut inboxes),
+                };
+            }
             step = next_step(step, epoch, h_next, c_next);
         }
     }
@@ -671,11 +804,16 @@ impl System {
         epoch: Cycle,
         max_cycles: Cycle,
         workers: usize,
+        seed: (u64, Cycle, Vec<Vec<(Cycle, Ev)>>),
+        pause_at: Option<Cycle>,
     ) -> (Vec<CubeShard>, StepOutcome) {
         let cubes = shards.len();
-        let cells: Vec<CubeCell> = (0..cubes)
-            .map(|_| CubeCell {
-                inbox: Mutex::new(Vec::new()),
+        let (start_step, start_last, seed_inboxes) = seed;
+        debug_assert_eq!(seed_inboxes.len(), cubes);
+        let cells: Vec<CubeCell> = seed_inboxes
+            .into_iter()
+            .map(|inbox| CubeCell {
+                inbox: Mutex::new(inbox),
                 report: Mutex::new(StepReport::default()),
                 parked: Mutex::new(None),
             })
@@ -696,14 +834,16 @@ impl System {
             chunks.push((first, shards.drain(..len).collect()));
             first += len;
         }
-        let outcome = std::thread::scope(|scope| {
+        let mut outcome = std::thread::scope(|scope| {
             let cells = &cells;
             let ctl = &ctl;
             let barrier = &barrier;
             for (first, chunk) in chunks.drain(..) {
                 scope.spawn(move || worker_loop(chunk, first, cells, ctl, barrier));
             }
-            self.host_loop(cells, ctl, barrier, epoch, max_cycles)
+            self.host_loop(
+                cells, ctl, barrier, epoch, max_cycles, start_step, start_last, pause_at,
+            )
         });
         let shards = cells
             .iter()
@@ -715,10 +855,19 @@ impl System {
                     .expect("every shard is parked at shutdown")
             })
             .collect();
+        if let StepOutcome::Paused { inboxes, .. } = &mut outcome {
+            // The workers have parked; reclaim the undelivered inboxes
+            // so the pause record matches the inline driver's.
+            *inboxes = cells
+                .iter()
+                .map(|c| std::mem::take(&mut *c.inbox.lock().expect("inbox mutex")))
+                .collect();
+        }
         (shards, outcome)
     }
 
     /// The host side of the threaded super-step schedule.
+    #[allow(clippy::too_many_arguments)]
     fn host_loop(
         &mut self,
         cells: &[CubeCell],
@@ -726,6 +875,9 @@ impl System {
         barrier: &EpochBarrier,
         epoch: Cycle,
         max_cycles: Cycle,
+        start_step: u64,
+        start_last: Cycle,
+        pause_at: Option<Cycle>,
     ) -> StepOutcome {
         let shutdown = |outcome: StepOutcome| {
             ctl.cmd.store(CMD_DONE, Ordering::Release);
@@ -733,14 +885,16 @@ impl System {
             barrier.wait(); // B: every shard parked
             outcome
         };
-        let mut step: u64 = 0;
-        let mut last: Cycle = 0;
-        let mut mark = self.pending_mark.take();
+        let mut step = start_step;
+        let mut last = start_last;
         loop {
+            // Top-of-body take, as in drive_inline: a pause exit leaves
+            // any just-set mark on the machine for serialization.
+            let mark = self.pending_mark.take();
             let h_end = (step + 1) * epoch;
             ctl.cmd.store(CMD_RUN, Ordering::Release);
             ctl.c_end.store(h_end + epoch, Ordering::Release);
-            *ctl.mark.lock().expect("mark mutex") = mark.take();
+            *ctl.mark.lock().expect("mark mutex") = mark;
             barrier.wait(); // A: workers start W_{s+1}
             let hstop = self.host_window(h_end, max_cycles, &mut last);
             barrier.wait(); // B: workers done
@@ -810,7 +964,16 @@ impl System {
                     shutdown(StepOutcome::Fail(FailureKind::Stalled, last))
                 };
             }
-            mark = self.pending_mark.take();
+            if pause_at.is_some_and(|t| h_end >= t) {
+                // `drive_threaded` reclaims the cell inboxes once the
+                // workers have parked (after the shutdown barriers).
+                return shutdown(StepOutcome::Paused {
+                    at: h_end,
+                    step: next_step(step, epoch, h_next, c_next),
+                    last,
+                    inboxes: Vec::new(),
+                });
+            }
             step = next_step(step, epoch, h_next, c_next);
         }
     }

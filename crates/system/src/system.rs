@@ -65,13 +65,13 @@ pub(crate) enum Ev {
 }
 
 pub(crate) struct Group {
-    trace: Box<dyn PhasedTrace>,
-    cores: Vec<usize>,
-    drained: Vec<bool>,
-    drained_count: usize,
-    done: bool,
-    instructions_at_done: u64,
-    phases: u64,
+    pub(crate) trace: Box<dyn PhasedTrace>,
+    pub(crate) cores: Vec<usize>,
+    pub(crate) drained: Vec<bool>,
+    pub(crate) drained_count: usize,
+    pub(crate) done: bool,
+    pub(crate) instructions_at_done: u64,
+    pub(crate) phases: u64,
 }
 
 /// Result of a full-system run: the headline metrics every experiment
@@ -114,6 +114,64 @@ impl RunResult {
     /// finished, no invariant violation).
     pub fn ok(&self) -> bool {
         self.outcome.is_completed()
+    }
+}
+
+/// Where [`System::run_paused`] / [`System::run_sharded_paused`] should
+/// stop with all machine state intact (DESIGN.md §11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PauseAt {
+    /// Pause once every event strictly before this cycle has been
+    /// dispatched. The sharded engine rounds the cut up to its next
+    /// epoch barrier (both drivers follow the same barrier schedule, so
+    /// the cut is identical under any thread count).
+    Cycle(Cycle),
+    /// Pause just before the first PMU event would be dispatched — the
+    /// latest cut that precedes every dispatch-policy decision, used to
+    /// fork one warmed machine across policy sweep cells
+    /// (sequential engine only).
+    FirstPei,
+}
+
+/// Outcome of a pausable run.
+#[derive(Debug)]
+pub enum RunStatus {
+    /// The run ended (completed or failed) before the pause point.
+    Completed(RunResult),
+    /// The pause point was reached with work outstanding; the machine
+    /// is quiescent and ready for [`System::snapshot`] or resumption.
+    Paused {
+        /// The pause bound: every event strictly before this cycle has
+        /// been dispatched.
+        at: Cycle,
+    },
+}
+
+impl RunStatus {
+    /// Unwraps the completed result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run paused instead of completing.
+    pub fn expect_completed(self) -> RunResult {
+        match self {
+            RunStatus::Completed(r) => r,
+            RunStatus::Paused { at } => panic!("run paused at cycle {at}, expected completion"),
+        }
+    }
+
+    /// Unwraps the pause cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run completed instead of pausing.
+    pub fn expect_paused(self) -> Cycle {
+        match self {
+            RunStatus::Paused { at } => at,
+            RunStatus::Completed(r) => {
+                panic!("run completed ({:?}) before the pause point", r.outcome)
+            }
+        }
     }
 }
 
@@ -185,6 +243,16 @@ pub struct System {
     // the cube shards' buffers in deterministic order at each epoch
     // barrier (DESIGN.md §10). `None` in sequential runs.
     pub(crate) shard_trace: Option<Vec<pei_trace::Record>>,
+    // While armed (run_paused with PauseAt::FirstPei), every scheduled
+    // PMU event lowers `warm_stop` to its delivery cycle; the run loop
+    // re-reads the bound each pop, so no event at or past the first PMU
+    // delivery is dispatched before the pause (DESIGN.md §11).
+    pub(crate) warm_armed: bool,
+    pub(crate) warm_stop: Option<Cycle>,
+    // A sharded run paused at an epoch barrier (run_sharded_paused):
+    // cube queues in canonical order plus the super-step seed. `Some`
+    // only between a sharded pause and its resume/snapshot.
+    pub(crate) shard_pause: Option<Box<crate::snapshot::ShardPause>>,
 }
 
 // Parallel experiment runners move whole `System`s (including their
@@ -266,6 +334,9 @@ impl System {
             ob_hpcu: Outbox::new(),
             tracer: None,
             shard_trace: None,
+            warm_armed: false,
+            warm_stop: None,
+            shard_pause: None,
             cfg,
         }
     }
@@ -506,16 +577,69 @@ impl System {
     ///
     /// # Panics
     ///
-    /// Panics only on harness misuse (no workload assigned).
+    /// Panics only on harness misuse (no workload assigned, or the
+    /// machine holds a sharded pause that must resume via
+    /// [`run_sharded`](System::run_sharded)).
     pub fn run(&mut self, max_cycles: Cycle) -> RunResult {
+        match self.run_paused(max_cycles, None) {
+            RunStatus::Completed(r) => r,
+            RunStatus::Paused { .. } => {
+                unreachable!("run_paused without a pause spec never pauses")
+            }
+        }
+    }
+
+    /// [`run`](System::run), but optionally stopping at a deterministic
+    /// cut point with all machine state intact — the entry point for
+    /// [`snapshot`](System::snapshot)-based warm forking, crash-resume,
+    /// and bisection.
+    ///
+    /// - [`PauseAt::Cycle(t)`](PauseAt) dispatches every event strictly
+    ///   before cycle `t`, then pauses (events *at* `t` stay queued).
+    /// - [`PauseAt::FirstPei`] pauses just before the first PMU event
+    ///   (PEI request, pfence, flush completion, or memory-side result)
+    ///   would be dispatched — i.e. before any dispatch-policy decision
+    ///   is taken, the cut the warm-fork runner shares across policies.
+    ///
+    /// Returns [`RunStatus::Paused`] only when the pause point was
+    /// reached with work still outstanding; a run that completes (or
+    /// fails) first returns [`RunStatus::Completed`]. Calling this again
+    /// (or [`run`](System::run)) on a paused machine resumes it;
+    /// resuming with `None` runs to completion.
+    pub fn run_paused(&mut self, max_cycles: Cycle, pause: Option<PauseAt>) -> RunStatus {
         assert!(!self.groups.is_empty(), "no workload assigned");
+        assert!(
+            self.shard_pause.is_none(),
+            "machine holds a sharded pause; resume it with run_sharded"
+        );
+        if let Some(PauseAt::FirstPei) = pause {
+            self.warm_armed = true;
+            self.warm_stop = None;
+        }
         for g in 0..self.groups.len() {
-            self.pull_phase(g, 0);
+            // On a fresh machine this seeds phase 1; on a resumed one the
+            // groups already progressed (their phase state was restored).
+            if self.groups[g].phases == 0 && !self.groups[g].done {
+                self.pull_phase(g, 0);
+            }
         }
         let mut last = 0;
-        while let Some((now, ev)) = self.queue.pop() {
+        loop {
+            // Re-read the bound every pop: PauseAt::FirstPei lowers it
+            // the moment a PMU event is scheduled.
+            let limit = match pause {
+                None => None,
+                Some(PauseAt::Cycle(t)) => Some(t),
+                Some(PauseAt::FirstPei) => self.warm_stop,
+            };
+            let popped = match limit {
+                Some(t) => self.queue.pop_before(t),
+                None => self.queue.pop(),
+            };
+            let Some((now, ev)) = popped else { break };
             if now > max_cycles {
-                return self.fail(FailureKind::CycleLimit, now);
+                self.warm_armed = false;
+                return RunStatus::Completed(self.fail(FailureKind::CycleLimit, now));
             }
             last = now;
             let ev = if self.faults.is_some() {
@@ -534,16 +658,29 @@ impl System {
                 }
             }
             if !self.violations.is_empty() {
-                return self.fail(FailureKind::CheckFailed, now);
+                self.warm_armed = false;
+                return RunStatus::Completed(self.fail(FailureKind::CheckFailed, now));
             }
             if self.all_done() {
                 break;
             }
         }
-        if !self.all_done() {
-            return self.fail(FailureKind::Stalled, last);
+        self.warm_armed = false;
+        if !self.all_done() && !self.queue.is_empty() {
+            // Only a pause bound stops the loop with events still queued.
+            let at = match pause {
+                Some(PauseAt::Cycle(t)) => t,
+                Some(PauseAt::FirstPei) => self
+                    .warm_stop
+                    .expect("paused implies a PMU event was scheduled"),
+                None => unreachable!("pop() returns None only on an empty queue"),
+            };
+            return RunStatus::Paused { at };
         }
-        self.result(RunOutcome::Completed)
+        if !self.all_done() {
+            return RunStatus::Completed(self.fail(FailureKind::Stalled, last));
+        }
+        RunStatus::Completed(self.result(RunOutcome::Completed))
     }
 
     /// Runs one sweep of the invariant auditors. Out-of-line and only
@@ -1015,11 +1152,11 @@ impl System {
                 }
                 CoreOut::PfenceReq => {
                     let at = self.xsend(self.port_priv(i), now, XbarPayload::Control);
-                    self.queue.schedule(
+                    self.sched_pmu(
                         at,
-                        Ev::Pmu(Box::new(PmuIn::Pfence {
+                        PmuIn::Pfence {
                             core: CoreId(i as u16),
-                        })),
+                        },
                     );
                 }
             }
@@ -1113,8 +1250,7 @@ impl System {
                     self.queue.schedule(at + self.cfg.ctrl_latency, ev);
                 }
                 L3Out::FlushDone { done, at } => {
-                    self.queue
-                        .schedule(at, Ev::Pmu(Box::new(PmuIn::FlushDone { id: done.id })));
+                    self.sched_pmu(at, PmuIn::FlushDone { id: done.id });
                 }
             }
         }
@@ -1129,6 +1265,20 @@ impl System {
             None => self.queue.schedule(at, ev),
             Some(boxes) => boxes[cube].push((at, ev)),
         }
+    }
+
+    /// Schedules a PMU event. While a `PauseAt::FirstPei` warm run is
+    /// armed, lowers the warm-stop bound to the earliest PMU delivery:
+    /// the run loop re-reads the bound each pop, and pops are monotone
+    /// in time, so nothing at or past that delivery is dispatched before
+    /// the pause — the machine stops just short of its first dispatch
+    /// decision.
+    #[inline]
+    fn sched_pmu(&mut self, at: Cycle, input: PmuIn) {
+        if self.warm_armed {
+            self.warm_stop = Some(self.warm_stop.map_or(at, |t| t.min(at)));
+        }
+        self.queue.schedule(at, Ev::Pmu(Box::new(input)));
     }
 
     fn route_ctrl(&mut self, outs: &mut Outbox<CtrlOut>) {
@@ -1156,10 +1306,7 @@ impl System {
                     );
                 }
                 CtrlOut::PimResp { out, at } => {
-                    self.queue.schedule(
-                        at + self.cfg.ctrl_latency,
-                        Ev::Pmu(Box::new(PmuIn::MemResult { out })),
-                    );
+                    self.sched_pmu(at + self.cfg.ctrl_latency, PmuIn::MemResult { out });
                 }
             }
         }
@@ -1245,15 +1392,15 @@ impl System {
                         at,
                         XbarPayload::Operands(input.byte_len() as u16),
                     );
-                    self.queue.schedule(
+                    self.sched_pmu(
                         delivered,
-                        Ev::Pmu(Box::new(PmuIn::Request {
+                        PmuIn::Request {
                             id,
                             core: CoreId(c as u16),
                             op,
                             target,
                             input,
-                        })),
+                        },
                     );
                 }
                 HostPcuOut::L1Access { req, at } => {
@@ -1267,8 +1414,7 @@ impl System {
                 }
                 HostPcuOut::ReleaseToPmu { id, at } => {
                     let delivered = self.xsend(self.port_priv(c), at, XbarPayload::Control);
-                    self.queue
-                        .schedule(delivered, Ev::Pmu(Box::new(PmuIn::HostRelease { id })));
+                    self.sched_pmu(delivered, PmuIn::HostRelease { id });
                 }
             }
         }

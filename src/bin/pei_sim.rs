@@ -25,6 +25,9 @@ struct Args {
     vm: bool,
     record: Option<String>,
     replay: Option<String>,
+    save_at: Option<u64>,
+    save_to: String,
+    resume: Option<String>,
 }
 
 const USAGE: &str = "\
@@ -47,6 +50,12 @@ OPTIONS:
                   (then run it)
       --replay F  run a trace previously saved with --record (workload /
                   size / budget arguments are ignored)
+      --save-at N pause at the first event boundary >= cycle N, write a
+                  machine snapshot (see --save-to), and exit
+      --save-to F snapshot path for --save-at          [default: pei.snap]
+      --resume F  restore the snapshot at F and run to completion; the
+                  workload is rebuilt from the snapshot's own metadata,
+                  so no other arguments are needed
   -h, --help      this text
 ";
 
@@ -63,6 +72,9 @@ fn parse_args() -> Result<Args, String> {
         vm: false,
         record: None,
         replay: None,
+        save_at: None,
+        save_to: String::from("pei.snap"),
+        resume: None,
     };
     let mut saw_workload = false;
     let mut it = std::env::args().skip(1);
@@ -110,6 +122,11 @@ fn parse_args() -> Result<Args, String> {
             "--stats" => args.stats = true,
             "--record" => args.record = Some(value("--record")?),
             "--replay" => args.replay = Some(value("--replay")?),
+            "--save-at" => {
+                args.save_at = Some(value("--save-at")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--save-to" => args.save_to = value("--save-to")?,
+            "--resume" => args.resume = Some(value("--resume")?),
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -117,19 +134,144 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    if !saw_workload && args.replay.is_none() {
-        return Err("--workload is required (unless --replay)".into());
+    if !saw_workload && args.replay.is_none() && args.resume.is_none() {
+        return Err("--workload is required (unless --replay or --resume)".into());
+    }
+    if args.resume.is_some() && (args.save_at.is_some() || args.record.is_some()) {
+        return Err("--resume cannot be combined with --save-at or --record".into());
     }
     Ok(args)
 }
 
+/// The snapshot metadata keys `--save-at` writes and `--resume` reads
+/// to rebuild the identical workload without re-supplying arguments.
+fn snapshot_meta(args: &Args) -> Vec<(String, String)> {
+    let mut meta = vec![
+        ("tool".into(), "pei-sim".into()),
+        (
+            "workload".into(),
+            format!("{}", args.workload).to_lowercase(),
+        ),
+        ("size".into(), format!("{}", args.size).to_lowercase()),
+        (
+            "policy".into(),
+            match args.policy {
+                DispatchPolicy::HostOnly => "host",
+                DispatchPolicy::PimOnly => "pim",
+                DispatchPolicy::LocalityAware => "la",
+                DispatchPolicy::LocalityAwareBalanced => "bd",
+            }
+            .into(),
+        ),
+        ("paper".into(), format!("{}", args.paper)),
+        ("ideal_host".into(), format!("{}", args.ideal_host)),
+        ("budget".into(), format!("{}", args.budget)),
+        ("seed".into(), format!("{}", args.seed)),
+        ("vm".into(), format!("{}", args.vm)),
+    ];
+    if let Some(path) = &args.replay {
+        meta.push(("replay".into(), path.clone()));
+    }
+    meta
+}
+
+/// Rebuilds `--save-at`-era arguments from a snapshot's metadata.
+fn args_from_meta(snap: &Snapshot, resume_path: &str) -> Result<Args, String> {
+    let get = |k: &str| {
+        snap.meta_get(k)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("snapshot {resume_path} has no `{k}` metadata"))
+    };
+    let parse_u64 = |k: &str| -> Result<u64, String> {
+        get(k)?
+            .parse()
+            .map_err(|e| format!("bad `{k}` metadata: {e}"))
+    };
+    Ok(Args {
+        workload: match get("workload")?.as_str() {
+            "atf" => Workload::Atf,
+            "bfs" => Workload::Bfs,
+            "pr" => Workload::Pr,
+            "sp" => Workload::Sp,
+            "wcc" => Workload::Wcc,
+            "hj" => Workload::Hj,
+            "hg" => Workload::Hg,
+            "rp" => Workload::Rp,
+            "sc" => Workload::Sc,
+            "svm" => Workload::Svm,
+            other => return Err(format!("unknown workload `{other}` in snapshot metadata")),
+        },
+        size: match get("size")?.as_str() {
+            "small" => InputSize::Small,
+            "medium" => InputSize::Medium,
+            "large" => InputSize::Large,
+            other => return Err(format!("unknown size `{other}` in snapshot metadata")),
+        },
+        policy: match get("policy")?.as_str() {
+            "host" => DispatchPolicy::HostOnly,
+            "pim" => DispatchPolicy::PimOnly,
+            "la" => DispatchPolicy::LocalityAware,
+            "bd" => DispatchPolicy::LocalityAwareBalanced,
+            other => return Err(format!("unknown policy `{other}` in snapshot metadata")),
+        },
+        paper: get("paper")? == "true",
+        ideal_host: get("ideal_host")? == "true",
+        budget: parse_u64("budget")?,
+        seed: parse_u64("seed")?,
+        stats: false,
+        vm: get("vm")? == "true",
+        record: None,
+        replay: snap.meta_get("replay").map(str::to_owned),
+        save_at: None,
+        save_to: String::new(),
+        resume: None,
+    })
+}
+
 fn main() {
-    let args = match parse_args() {
+    let cli = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
             std::process::exit(2);
         }
+    };
+
+    // Under --resume the run is described by the snapshot's own
+    // metadata, not the command line (only --stats carries over).
+    let mut resume_snap = None;
+    let args = if let Some(path) = &cli.resume {
+        let snap = match Snapshot::read(std::path::Path::new(path)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read snapshot {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let mut a = match args_from_meta(&snap, path) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
+        a.stats = cli.stats;
+        eprintln!(
+            "resuming {} ({}) under {} from {path} at cycle {}...",
+            a.workload,
+            a.size,
+            match a.policy {
+                DispatchPolicy::HostOnly => "host",
+                DispatchPolicy::PimOnly => "pim",
+                DispatchPolicy::LocalityAware => "la",
+                DispatchPolicy::LocalityAwareBalanced => "bd",
+            },
+            snap.cycle()
+        );
+        resume_snap = Some(snap);
+        a
+    } else {
+        cli
     };
 
     let mut cfg = if args.paper {
@@ -155,21 +297,25 @@ fn main() {
     };
 
     let (store, trace): (BackingStore, Box<dyn PhasedTrace>) = if let Some(path) = &args.replay {
-        eprintln!("replaying {path} under {}...", cfg.policy);
+        if resume_snap.is_none() {
+            eprintln!("replaying {path} under {}...", cfg.policy);
+        }
         let mut f =
             std::io::BufReader::new(std::fs::File::open(path).expect("cannot open replay file"));
         let store = BackingStore::load(&mut f).expect("corrupt store section");
         let trace = RecordedTrace::load(&mut f).expect("corrupt trace section");
         (store, Box::new(trace))
     } else {
-        eprintln!(
-            "running {} ({}) under {} on the {} machine (budget {} PEIs)...",
-            args.workload,
-            args.size,
-            cfg.policy,
-            if args.paper { "paper-scale" } else { "scaled" },
-            args.budget
-        );
+        if resume_snap.is_none() {
+            eprintln!(
+                "running {} ({}) under {} on the {} machine (budget {} PEIs)...",
+                args.workload,
+                args.size,
+                cfg.policy,
+                if args.paper { "paper-scale" } else { "scaled" },
+                args.budget
+            );
+        }
         let (store, mut trace) = args.workload.build(args.size, &params);
         if let Some(path) = &args.record {
             let rec = RecordedTrace::record(trace.as_mut());
@@ -190,8 +336,46 @@ fn main() {
     };
     let mut sys = System::new(cfg, store);
     sys.add_workload(trace, (0..cfg.cores).collect());
+    if let Some(snap) = &resume_snap {
+        if let Err(e) = sys.restore(snap) {
+            eprintln!("error: cannot resume: {e}");
+            std::process::exit(1);
+        }
+    }
     let start = std::time::Instant::now();
-    let r = sys.run(u64::MAX);
+    let r = if let Some(at) = args.save_at {
+        match sys.run_paused(u64::MAX, Some(PauseAt::Cycle(at))) {
+            RunStatus::Paused { at: cycle } => {
+                let snap = match sys.snapshot_with_meta(&snapshot_meta(&args)) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("error: cannot snapshot: {e}");
+                        std::process::exit(1);
+                    }
+                };
+                if let Err(e) = snap.write(std::path::Path::new(&args.save_to)) {
+                    eprintln!("error: cannot write {}: {e}", args.save_to);
+                    std::process::exit(1);
+                }
+                eprintln!(
+                    "saved snapshot at cycle {cycle} ({} bytes) to {}; resume with --resume {}",
+                    snap.as_bytes().len(),
+                    args.save_to,
+                    args.save_to
+                );
+                return;
+            }
+            RunStatus::Completed(r) => {
+                eprintln!(
+                    "run completed at cycle {} before --save-at {at}; nothing saved",
+                    r.cycles
+                );
+                r
+            }
+        }
+    } else {
+        sys.run(u64::MAX)
+    };
     let wall = start.elapsed();
 
     println!("cycles           {:>14}", r.cycles);
