@@ -165,6 +165,9 @@ struct Measured {
     events: u64,
     sim_cycles: u64,
     wall_s: f64,
+    /// Fork-cache accounting of this row's grid (`--fork-bench` only):
+    /// records *why* the wall-clock pair did or didn't show a speedup.
+    fork: Option<pei_bench::runner::ForkStats>,
 }
 
 fn record_json(args: &Args, runs: &[Measured]) -> String {
@@ -188,9 +191,19 @@ fn record_json(args: &Args, runs: &[Measured]) -> String {
         ev_tot += r.events;
         cy_tot += r.sim_cycles;
         wall_tot += r.wall_s;
+        let fork = match &r.fork {
+            None => String::new(),
+            Some(f) => format!(
+                ", \"fork_hit_rate\": {:.3}, \"fork_hits\": {}, \"fork_misses\": {}, \"fork_bypasses\": {}",
+                f.hit_rate(),
+                f.hits,
+                f.misses,
+                f.bypasses
+            ),
+        };
         let _ = write!(
             s,
-            "{}\n      {{\"workload\": \"{}\", \"policy\": \"{}\", \"events\": {}, \"sim_cycles\": {}, \"wall_s\": {:.3}, \"events_per_s\": {:.0}, \"sim_cycles_per_s\": {:.0}}}",
+            "{}\n      {{\"workload\": \"{}\", \"policy\": \"{}\", \"events\": {}, \"sim_cycles\": {}, \"wall_s\": {:.3}, \"events_per_s\": {:.0}, \"sim_cycles_per_s\": {:.0}{fork}}}",
             if i == 0 { "" } else { "," },
             r.workload,
             r.policy,
@@ -245,16 +258,23 @@ fn run_fork_bench(args: &Args) -> Vec<Measured> {
     let specs = fork_bench_specs(args);
     let mut rows = Vec::new();
     let mut reference: Option<Vec<pei_system::RunResult>> = None;
-    for (mode, fork) in [("cold-grid", false), ("forked-grid", true)] {
+    // ForkPolicy::always() for the forked grid: the bench exists to
+    // time the fork machinery itself, so the auto-bypass threshold
+    // (which would skip forking at these prefix lengths) is overridden
+    // — the recorded hit rate then says how much sharing happened.
+    for (mode, policy) in [
+        ("cold-grid", pei_bench::runner::ForkPolicy::disabled()),
+        ("forked-grid", pei_bench::runner::ForkPolicy::always()),
+    ] {
         let mut wall_s = f64::INFINITY;
-        let mut results: Option<Vec<pei_system::RunResult>> = None;
+        let mut measured: Option<(Vec<pei_system::RunResult>, _)> = None;
         for _ in 0..args.repeat {
             let t0 = Instant::now();
-            let r = pei_bench::runner::run_specs_forked(&specs, 1, fork);
+            let r = pei_bench::runner::run_specs_forked_with(&specs, 1, policy);
             wall_s = wall_s.min(t0.elapsed().as_secs_f64().max(1e-9));
-            results = Some(r);
+            measured = Some(r);
         }
-        let results = results.expect("repeat >= 1");
+        let (results, fork_stats) = measured.expect("repeat >= 1");
         match &reference {
             None => reference = Some(results.clone()),
             Some(cold) => {
@@ -273,6 +293,7 @@ fn run_fork_bench(args: &Args) -> Vec<Measured> {
             events,
             sim_cycles,
             wall_s,
+            fork: Some(fork_stats),
         });
     }
     rows
@@ -371,6 +392,7 @@ fn main() {
             events,
             sim_cycles: res.cycles,
             wall_s,
+            fork: None,
         };
         print_row(&m);
         runs.push(m);

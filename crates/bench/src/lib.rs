@@ -41,6 +41,7 @@
 
 pub mod bisect;
 pub mod runner;
+pub mod service;
 pub mod tracecap;
 
 use pei_core::DispatchPolicy;

@@ -1,0 +1,481 @@
+//! `pei-serve`: the simulator as a long-running service (DESIGN.md §12).
+//!
+//! One-shot binaries pay the full startup bill per cell: process spawn,
+//! input-graph construction, and — when several cells share a warm
+//! prefix — the same warmup replayed once per cell. A daemon pays those
+//! costs once per *process*: the [`Daemon`] keeps the process-wide
+//! `Arc<Graph>` input cache and a resident
+//! [`ForkCache`] of warm snapshots alive
+//! across submissions, so the tenth job of a sweep starts where the
+//! first one left the machine.
+//!
+//! The wire protocol is newline-delimited JSON over a Unix socket (or
+//! stdio); the frame types live in [`pei_types::wire`] and the grammar
+//! in DESIGN.md §12. A session submits recipes and receives, per job:
+//! one `ack` carrying the job id, `progress` heartbeats while the run
+//! advances, and exactly one terminal frame — `result`, `cancelled`, or
+//! a structured `error`. Malformed frames and failed runs (checked-mode
+//! violations, stalls, cycle limits) come back as `error` frames; the
+//! daemon never dies on a bad submission.
+//!
+//! The byte-identity contract holds end to end: the `stats` text inside
+//! a `result` frame equals the one-shot binary's rendering of the same
+//! recipe, whichever cache path served the job (pinned by this crate's
+//! tests and the CI serve-smoke job).
+
+use pei_bench::runner::{ForkPolicy, RunSpec};
+use pei_bench::service::{resolve_capture, resolve_recipe, ForkCache};
+use pei_bench::tracecap::CaptureSpec;
+use pei_system::RunResult;
+use pei_trace::Recorder;
+use pei_types::wire::{
+    ForkCacheStat, Recipe, Request, Response, ResultFrame, StatsFrame, WorkerStat,
+};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How a [`Daemon`] is provisioned.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing jobs (the submission queue is unbounded;
+    /// this bounds concurrency, not backlog).
+    pub workers: usize,
+    /// Cancellation/heartbeat granularity: jobs pause every this many
+    /// simulated cycles to check their cancel flag and emit a
+    /// `progress` frame. Slicing never changes results — only where the
+    /// run loop pauses.
+    pub slice: u64,
+    /// Warm-fork policy for the resident snapshot cache.
+    pub fork: ForkPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 1,
+            slice: 1_000_000,
+            fork: ForkPolicy::default(),
+        }
+    }
+}
+
+/// A queued unit of work: the resolved spec plus everything needed to
+/// report back to the submitting session.
+struct Job {
+    id: u64,
+    spec: RunSpec,
+    /// `Some` when the submission asked for a `.petr` capture: the
+    /// replayable recipe and the daemon-side path to write.
+    capture: Option<(CaptureSpec, String)>,
+    cancel: Arc<AtomicBool>,
+    reply: Sender<Response>,
+}
+
+/// Per-worker scheduler accounting (mirrors [`WorkerStat`]).
+#[derive(Default, Clone)]
+struct WorkerSlot {
+    jobs: u64,
+    busy: bool,
+    busy_ms: u64,
+}
+
+/// State shared by every session and worker of one daemon.
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    /// Set by `shutdown` frames (and by [`Daemon`]'s drop). Workers
+    /// drain the queue, then exit.
+    shutdown: AtomicBool,
+    /// Cancel flags of every queued or running job, removed on the
+    /// terminal frame; `cancel` frames look their target up here.
+    jobs: Mutex<HashMap<u64, Arc<AtomicBool>>>,
+    next_job: AtomicU64,
+    cache: ForkCache,
+    slice: u64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    rejected: AtomicU64,
+    running: AtomicU64,
+    /// Queued + running jobs; `shutdown` drains until this hits zero.
+    outstanding: AtomicU64,
+    slots: Mutex<Vec<WorkerSlot>>,
+    start: Instant,
+}
+
+/// A running simulation service: a worker pool draining a shared job
+/// queue through the resident caches. Sessions attach via
+/// [`serve`](Daemon::serve) — any `BufRead`/`Write` pair works, so the
+/// same daemon backs a Unix socket, stdio, or an in-process test
+/// harness. Dropping the daemon drains queued jobs and joins the
+/// workers.
+pub struct Daemon {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Starts the worker pool.
+    pub fn start(cfg: ServeConfig) -> Daemon {
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            jobs: Mutex::new(HashMap::new()),
+            next_job: AtomicU64::new(0),
+            cache: ForkCache::new(cfg.fork),
+            slice: cfg.slice.max(1),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            running: AtomicU64::new(0),
+            outstanding: AtomicU64::new(0),
+            slots: Mutex::new(vec![WorkerSlot::default(); workers]),
+            start: Instant::now(),
+        });
+        let workers = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pei-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("worker thread spawns")
+            })
+            .collect();
+        Daemon { shared, workers }
+    }
+
+    /// Runs one session: reads request frames from `reader` line by
+    /// line and streams response frames to `writer` (each frame one
+    /// line, flushed). Returns when the reader ends or a `shutdown`
+    /// frame completes — after every job this session submitted has
+    /// sent its terminal frame, so a caller may drop the transport
+    /// immediately.
+    pub fn serve<R: BufRead, W: Write + Send + 'static>(&self, reader: R, writer: W) {
+        serve_session(&self.shared, reader, writer);
+    }
+
+    /// Whether a `shutdown` frame has been received (socket accept
+    /// loops poll this to stop accepting).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// The daemon's current scheduler/cache statistics (the same frame
+    /// a `stats` request returns).
+    pub fn stats(&self) -> StatsFrame {
+        stats_frame(&self.shared)
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.ready.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Claims jobs off the shared queue until the queue is empty *and*
+/// shutdown was requested (queued work always drains).
+fn worker_loop(shared: &Shared, slot: usize) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                q = shared.ready.wait(q).unwrap();
+            }
+        };
+        shared.running.fetch_add(1, Ordering::Relaxed);
+        shared.slots.lock().unwrap()[slot].busy = true;
+        let began = Instant::now();
+        execute(shared, job);
+        let busy_ms = began.elapsed().as_millis() as u64;
+        {
+            let mut slots = shared.slots.lock().unwrap();
+            slots[slot].busy = false;
+            slots[slot].jobs += 1;
+            slots[slot].busy_ms += busy_ms;
+        }
+        shared.running.fetch_sub(1, Ordering::Relaxed);
+        shared.outstanding.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Runs one job to its terminal frame. Never panics the worker: bad
+/// outcomes become `error` frames, cancellation becomes `cancelled`.
+fn execute(shared: &Shared, job: Job) {
+    let Job {
+        id,
+        spec,
+        capture,
+        cancel,
+        reply,
+    } = job;
+    let last_cycle = std::cell::Cell::new(0u64);
+    let mut trace_path = None;
+    let result = if cancel.load(Ordering::Relaxed) {
+        // Cancelled while still queued: report without building anything.
+        None
+    } else if let Some((cs, path)) = capture {
+        // Traced runs execute cold — the tracer must observe the run
+        // from cycle zero, which a restored snapshot cannot provide.
+        // Cancellation is checked only before the run starts.
+        shared.cache.note_ineligible();
+        match run_captured(&cs, &path) {
+            Ok(result) => {
+                trace_path = Some(path);
+                Some(result)
+            }
+            Err(message) => {
+                shared.jobs.lock().unwrap().remove(&id);
+                shared.failed.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send(Response::Error {
+                    job: Some(id),
+                    kind: "trace-io".to_owned(),
+                    message,
+                    violations: Vec::new(),
+                });
+                return;
+            }
+        }
+    } else {
+        shared
+            .cache
+            .run_cancellable(&spec, shared.slice, &cancel, |cycle| {
+                last_cycle.set(cycle);
+                let _ = reply.send(Response::Progress { job: id, cycle });
+            })
+    };
+    shared.jobs.lock().unwrap().remove(&id);
+    match result {
+        None => {
+            shared.cancelled.fetch_add(1, Ordering::Relaxed);
+            let _ = reply.send(Response::Cancelled {
+                job: id,
+                cycle: last_cycle.get(),
+            });
+        }
+        Some(result) => match result.outcome.report() {
+            Some(report) => {
+                shared.failed.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send(Response::Error {
+                    job: Some(id),
+                    kind: report.kind.label().to_owned(),
+                    message: report.summary(),
+                    violations: report.violations.iter().map(|v| v.to_string()).collect(),
+                });
+            }
+            None => {
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send(Response::Result(result_frame(id, &result, trace_path)));
+            }
+        },
+    }
+}
+
+/// The traced path: the same capture flow as `pei_bench::tracecap`,
+/// with the encoded `.petr` written to the requested path.
+fn run_captured(cs: &CaptureSpec, path: &str) -> Result<RunResult, String> {
+    let (result, mut sink) = cs.to_run_spec().run_traced(Box::new(Recorder::new()));
+    cs.write_meta(sink.as_mut());
+    sink.meta("stats", &result.stats.to_string());
+    let bytes = sink
+        .to_petr()
+        .ok_or_else(|| "the recorder lost its capture".to_owned())?;
+    std::fs::write(path, bytes).map_err(|e| format!("can't write trace `{path}`: {e}"))?;
+    Ok(result)
+}
+
+/// Renders a completed run as its wire frame. The `stats` member is the
+/// full report's text rendering — the unit of the byte-identity
+/// contract.
+fn result_frame(id: u64, r: &RunResult, trace: Option<String>) -> ResultFrame {
+    ResultFrame {
+        job: id,
+        cycles: r.cycles,
+        instructions: r.instructions,
+        peis: r.peis,
+        pim_fraction: r.pim_fraction,
+        offchip_bytes: r.offchip_bytes,
+        offchip_flits: r.offchip_flits,
+        dram_accesses: r.dram_accesses,
+        energy_total_nj: r.energy.total(),
+        stats: r.stats.to_string(),
+        trace,
+    }
+}
+
+fn stats_frame(shared: &Shared) -> StatsFrame {
+    let queue_depth = shared.queue.lock().unwrap().len() as u64;
+    let workers = shared
+        .slots
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|s| WorkerStat {
+            jobs: s.jobs,
+            busy: s.busy,
+            busy_ms: s.busy_ms,
+        })
+        .collect();
+    let cache = shared.cache.stats();
+    StatsFrame {
+        queue_depth,
+        running: shared.running.load(Ordering::Relaxed),
+        completed: shared.completed.load(Ordering::Relaxed),
+        failed: shared.failed.load(Ordering::Relaxed),
+        cancelled: shared.cancelled.load(Ordering::Relaxed),
+        rejected: shared.rejected.load(Ordering::Relaxed),
+        uptime_ms: shared.start.elapsed().as_millis() as u64,
+        workers,
+        graph_cache_entries: pei_workloads::cache::len() as u64,
+        fork_cache: ForkCacheStat {
+            entries: cache.entries,
+            bytes: cache.bytes,
+            hits: cache.fork.hits,
+            misses: cache.fork.misses,
+            bypasses: cache.fork.bypasses,
+            ineligible: cache.fork.ineligible,
+        },
+    }
+}
+
+/// The session loop behind [`Daemon::serve`]. Response frames funnel
+/// through an mpsc channel into a per-session writer thread, so worker
+/// threads never block on (or interleave within) the transport.
+fn serve_session<R: BufRead, W: Write + Send + 'static>(
+    shared: &Arc<Shared>,
+    reader: R,
+    writer: W,
+) {
+    let (tx, rx) = mpsc::channel::<Response>();
+    let writer_thread = std::thread::spawn(move || {
+        let mut writer = writer;
+        for resp in rx {
+            if writeln!(writer, "{}", resp.encode()).is_err() {
+                break;
+            }
+            let _ = writer.flush();
+        }
+    });
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Request::decode(&line) {
+            Err(e) => {
+                // A malformed line poisons only itself: report the
+                // offset and keep reading.
+                shared.rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(Response::Error {
+                    job: None,
+                    kind: "bad-frame".to_owned(),
+                    message: e.to_string(),
+                    violations: Vec::new(),
+                });
+            }
+            Ok(Request::Submit { recipe, trace }) => submit(shared, &tx, &recipe, trace),
+            Ok(Request::Cancel { job }) => {
+                let flag = shared.jobs.lock().unwrap().get(&job).map(Arc::clone);
+                match flag {
+                    Some(flag) => flag.store(true, Ordering::Relaxed),
+                    None => {
+                        let _ = tx.send(Response::Error {
+                            job: Some(job),
+                            kind: "unknown-job".to_owned(),
+                            message: format!("no queued or running job {job}"),
+                            violations: Vec::new(),
+                        });
+                    }
+                }
+            }
+            Ok(Request::Stats) => {
+                let _ = tx.send(Response::Stats(stats_frame(shared)));
+            }
+            Ok(Request::Shutdown) => {
+                // Stop accepting (flag set under the queue lock so no
+                // submit can race past a worker's exit check), drain
+                // what's queued and running, then say goodbye.
+                {
+                    let _q = shared.queue.lock().unwrap();
+                    shared.shutdown.store(true, Ordering::Relaxed);
+                }
+                shared.ready.notify_all();
+                while shared.outstanding.load(Ordering::Relaxed) > 0 {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                let _ = tx.send(Response::Bye);
+                break;
+            }
+        }
+    }
+    // Per-job sender clones keep the writer alive until every job this
+    // session submitted has reported; joining here means a returned
+    // `serve` call has delivered all its terminal frames.
+    drop(tx);
+    let _ = writer_thread.join();
+}
+
+/// Handles one `submit` frame: resolve, ack, enqueue.
+fn submit(shared: &Arc<Shared>, tx: &Sender<Response>, recipe: &Recipe, trace: Option<String>) {
+    let reject = |kind: &str, message: String| {
+        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        let _ = tx.send(Response::Error {
+            job: None,
+            kind: kind.to_owned(),
+            message,
+            violations: Vec::new(),
+        });
+    };
+    let spec = match resolve_recipe(recipe) {
+        Ok(spec) => spec,
+        Err(e) => return reject("bad-recipe", e),
+    };
+    let capture = match trace {
+        None => None,
+        Some(path) => match resolve_capture(recipe) {
+            Ok(cs) => Some((cs, path)),
+            Err(e) => return reject("bad-recipe", e),
+        },
+    };
+    // Ack and enqueue under the queue lock: a worker can't pop the job
+    // (so no result frame can overtake the ack), and the shutdown flag
+    // can't flip between the check and the push (so no job is ever
+    // stranded in the queue after the workers exit).
+    let mut q = shared.queue.lock().unwrap();
+    if shared.shutdown.load(Ordering::Relaxed) {
+        drop(q);
+        return reject("shutting-down", "the daemon is draining".to_owned());
+    }
+    let id = shared.next_job.fetch_add(1, Ordering::Relaxed) + 1;
+    let cancel = Arc::new(AtomicBool::new(false));
+    shared.jobs.lock().unwrap().insert(id, Arc::clone(&cancel));
+    shared.outstanding.fetch_add(1, Ordering::Relaxed);
+    let _ = tx.send(Response::Ack { job: id });
+    q.push_back(Job {
+        id,
+        spec,
+        capture,
+        cancel,
+        reply: tx.clone(),
+    });
+    drop(q);
+    shared.ready.notify_one();
+}

@@ -1,0 +1,117 @@
+//! `pei-serve` — the PEI simulator as a daemon.
+//!
+//! ```text
+//! pei-serve --socket /tmp/pei.sock          # accept connections
+//! pei-serve --stdio                         # one session on stdin/stdout
+//! ```
+//!
+//! Submit work with `pei-sim --submit <socket> ...` or by writing
+//! newline-delimited JSON request frames (DESIGN.md §12).
+
+use pei_bench::runner::ForkPolicy;
+use pei_serve::{Daemon, ServeConfig};
+use std::io::{BufReader, ErrorKind};
+use std::os::unix::net::UnixListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "\
+usage: pei-serve (--socket PATH | --stdio) [options]
+
+  --socket PATH   listen for connections on a Unix socket at PATH
+  --stdio         serve exactly one session on stdin/stdout, then exit
+  --workers N     worker threads executing jobs (default: CPU count)
+  --slice N       cancellation/heartbeat granularity in simulated
+                  cycles (default: 1000000)
+  --no-fork       disable the warm-fork snapshot cache
+  --fork-min N    fork only when the warmup prefix is at least N cycles
+                  (default: 100000; 0 forks every eligible group)
+";
+
+fn main() {
+    let mut socket: Option<String> = None;
+    let mut stdio = false;
+    let mut workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut slice: u64 = 1_000_000;
+    let mut fork = ForkPolicy::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--socket" => socket = Some(value("--socket")),
+            "--stdio" => stdio = true,
+            "--workers" => workers = parse(&value("--workers"), "--workers"),
+            "--slice" => slice = parse(&value("--slice"), "--slice"),
+            "--no-fork" => fork = ForkPolicy::disabled(),
+            "--fork-min" => fork.min_prefix = parse(&value("--fork-min"), "--fork-min"),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown argument `{other}`")),
+        }
+    }
+    if stdio == socket.is_some() {
+        fail("pick exactly one of --socket PATH or --stdio");
+    }
+
+    let cfg = ServeConfig {
+        workers,
+        slice,
+        fork,
+    };
+    if stdio {
+        let daemon = Daemon::start(cfg);
+        let stdin = std::io::stdin();
+        daemon.serve(stdin.lock(), std::io::stdout());
+        return; // dropping the daemon drains and joins the workers
+    }
+
+    let path = socket.expect("checked above");
+    let _ = std::fs::remove_file(&path);
+    let listener =
+        UnixListener::bind(&path).unwrap_or_else(|e| fail(&format!("can't bind `{path}`: {e}")));
+    listener
+        .set_nonblocking(true)
+        .unwrap_or_else(|e| fail(&format!("can't poll `{path}`: {e}")));
+    eprintln!("pei-serve: listening on {path}");
+    let daemon = Arc::new(Daemon::start(cfg));
+    loop {
+        if daemon.shutdown_requested() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let daemon = Arc::clone(&daemon);
+                std::thread::spawn(move || {
+                    let Ok(reading) = stream.try_clone() else {
+                        return;
+                    };
+                    daemon.serve(BufReader::new(reading), stream);
+                });
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                eprintln!("pei-serve: accept failed: {e}");
+                break;
+            }
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+fn parse<T: std::str::FromStr>(s: &str, name: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| fail(&format!("{name} got `{s}`, expected a number")))
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("pei-serve: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}

@@ -1,0 +1,514 @@
+//! End-to-end daemon tests: scripted sessions over in-process
+//! transports, pinning the wire contract of DESIGN.md §12 — every
+//! result byte-identical to its one-shot equivalent, failures and
+//! malformed frames as structured errors with the daemon still alive,
+//! and cancellation that leaves the resident caches intact.
+
+use pei_bench::runner::ForkPolicy;
+use pei_bench::service::resolve_recipe;
+use pei_serve::{Daemon, ServeConfig};
+use pei_trace::Trace;
+use pei_types::wire::{Recipe, Request, Response};
+use std::io::{BufReader, Read, Write};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A reader that reveals each request line after an optional delay —
+/// how the tests steer *when* a cancel lands relative to a running job.
+struct Paced {
+    parts: std::vec::IntoIter<(u64, String)>,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl Paced {
+    fn new(script: Vec<(u64, Request)>) -> Paced {
+        Paced {
+            parts: script
+                .into_iter()
+                .map(|(ms, req)| (ms, format!("{}\n", req.encode())))
+                .collect::<Vec<_>>()
+                .into_iter(),
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+}
+
+impl Read for Paced {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos == self.buf.len() {
+            let Some((delay, line)) = self.parts.next() else {
+                return Ok(0);
+            };
+            if delay > 0 {
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+            self.buf = line.into_bytes();
+            self.pos = 0;
+        }
+        let n = (self.buf.len() - self.pos).min(out.len());
+        out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// A `Write` the test can read back after the session returns.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Runs one scripted session to completion and decodes every response
+/// frame. `Daemon::serve` returns only after all terminal frames are
+/// delivered, so the decoded list is complete.
+fn run_session(daemon: &Daemon, script: Vec<(u64, Request)>) -> Vec<Response> {
+    let out = SharedBuf::default();
+    daemon.serve(BufReader::new(Paced::new(script)), out.clone());
+    let bytes = out.0.lock().unwrap().clone();
+    String::from_utf8(bytes)
+        .expect("frames are UTF-8")
+        .lines()
+        .map(|l| Response::decode(l).expect("daemon emits well-formed frames"))
+        .collect()
+}
+
+/// A sub-second recipe (the same cell the bench service tests use).
+fn quick_recipe(policy: &str) -> Recipe {
+    let mut r = Recipe::new("atf", "small", policy);
+    r.seed = 7;
+    r.budget = Some(2_000);
+    r
+}
+
+fn submit(recipe: Recipe) -> (u64, Request) {
+    (
+        0,
+        Request::Submit {
+            recipe,
+            trace: None,
+        },
+    )
+}
+
+/// The terminal frame of `job`, with every non-terminal frame checked
+/// on the way.
+fn terminal_for(responses: &[Response], job: u64) -> &Response {
+    let mut terminal = None;
+    for r in responses {
+        match r {
+            Response::Progress { job: j, .. } if *j == job => {
+                assert!(terminal.is_none(), "heartbeat after the terminal frame");
+            }
+            Response::Result(rf) if rf.job == job => terminal = Some(r),
+            Response::Cancelled { job: j, .. } | Response::Error { job: Some(j), .. }
+                if *j == job =>
+            {
+                terminal = Some(r)
+            }
+            _ => {}
+        }
+    }
+    terminal.unwrap_or_else(|| panic!("job {job} never reached a terminal frame: {responses:?}"))
+}
+
+fn forked_config(workers: usize) -> ServeConfig {
+    ServeConfig {
+        workers,
+        slice: 5_000,
+        fork: ForkPolicy::always(),
+    }
+}
+
+#[test]
+fn submitted_recipe_is_byte_identical_to_the_one_shot_run() {
+    let recipe = quick_recipe("la");
+    let reference = resolve_recipe(&recipe).unwrap().run();
+
+    let daemon = Daemon::start(forked_config(1));
+    let responses = run_session(
+        &daemon,
+        vec![submit(recipe), (0, Request::Stats), (0, Request::Shutdown)],
+    );
+
+    assert!(
+        matches!(responses.first(), Some(Response::Ack { job: 1 })),
+        "ack comes first: {responses:?}"
+    );
+    match terminal_for(&responses, 1) {
+        Response::Result(r) => {
+            assert_eq!(r.stats, reference.stats.to_string(), "byte-identity");
+            assert_eq!(r.cycles, reference.cycles);
+            assert_eq!(r.instructions, reference.instructions);
+            assert_eq!(r.peis, reference.peis);
+            assert_eq!(r.offchip_bytes, reference.offchip_bytes);
+            assert_eq!(r.offchip_flits, reference.offchip_flits);
+            assert_eq!(r.dram_accesses, reference.dram_accesses);
+            assert!(r.trace.is_none());
+        }
+        other => panic!("expected a result frame, got {other:?}"),
+    }
+    let stats = responses
+        .iter()
+        .find_map(|r| match r {
+            Response::Stats(s) => Some(s),
+            _ => None,
+        })
+        .expect("the stats request was answered");
+    assert_eq!(stats.workers.len(), 1);
+    assert!(
+        stats.graph_cache_entries >= 1,
+        "the input graph stayed resident"
+    );
+    assert!(
+        matches!(responses.last(), Some(Response::Bye)),
+        "shutdown answers bye last: {responses:?}"
+    );
+}
+
+#[test]
+fn concurrent_sessions_interleave_without_losing_byte_identity() {
+    // Sessions A and B submit four policies of one cell — la and lab
+    // share a fork key, so the daemon serves at least one of them from
+    // a restored snapshot. Session C injects a checked-mode fault,
+    // which must come back as a structured error frame *and leave the
+    // daemon serving*: C's second, healthy submission completes.
+    let reference = |policy: &str| resolve_recipe(&quick_recipe(policy)).unwrap().run();
+    let daemon = Arc::new(Daemon::start(forked_config(2)));
+
+    let mut faulty = quick_recipe("la");
+    faulty.check = true;
+    faulty.fault_seed = Some(13);
+    faulty.fault_kinds = vec!["corrupt-line".into()];
+
+    let spawn = |recipes: Vec<Recipe>| {
+        let daemon = Arc::clone(&daemon);
+        std::thread::spawn(move || run_session(&daemon, recipes.into_iter().map(submit).collect()))
+    };
+    let a = spawn(vec![quick_recipe("la"), quick_recipe("lab")]);
+    let b = spawn(vec![quick_recipe("host"), quick_recipe("pim")]);
+    let c = spawn(vec![faulty, quick_recipe("pim")]);
+    let (a, b, c) = (a.join().unwrap(), b.join().unwrap(), c.join().unwrap());
+
+    // Job ids are daemon-global; recover each session's ids in order.
+    let ids = |responses: &[Response]| -> Vec<u64> {
+        responses
+            .iter()
+            .filter_map(|r| match r {
+                Response::Ack { job } => Some(*job),
+                _ => None,
+            })
+            .collect()
+    };
+    for (responses, policies) in [(&a, ["la", "lab"]), (&b, ["host", "pim"])] {
+        for (job, policy) in ids(responses).into_iter().zip(policies) {
+            match terminal_for(responses, job) {
+                Response::Result(r) => {
+                    assert_eq!(
+                        r.stats,
+                        reference(policy).stats.to_string(),
+                        "{policy} under concurrency"
+                    );
+                }
+                other => panic!("{policy} should complete, got {other:?}"),
+            }
+        }
+    }
+    let c_ids = ids(&c);
+    match terminal_for(&c, c_ids[0]) {
+        Response::Error {
+            kind, violations, ..
+        } => {
+            assert_eq!(kind, "check-failed", "the mesi auditor catches the fault");
+            assert!(
+                violations.iter().any(|v| v.contains("mesi")),
+                "violations name the checker: {violations:?}"
+            );
+        }
+        other => panic!("the faulted run should fail, got {other:?}"),
+    }
+    match terminal_for(&c, c_ids[1]) {
+        Response::Result(r) => assert_eq!(r.stats, reference("pim").stats.to_string()),
+        other => panic!("the daemon must keep serving after a failure, got {other:?}"),
+    }
+
+    let stats = daemon.stats();
+    assert_eq!(stats.completed, 5);
+    assert_eq!(stats.failed, 1);
+    assert!(
+        stats.fork_cache.hits >= 1,
+        "la/lab share a fork key: {:?}",
+        stats.fork_cache
+    );
+}
+
+/// A reader fed line by line from the test thread, so a request can be
+/// held back until the daemon's output shows the right moment to send
+/// it (e.g. a cancel after the victim's first heartbeat).
+struct ChannelReader {
+    rx: std::sync::mpsc::Receiver<Request>,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl Read for ChannelReader {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos == self.buf.len() {
+            let Ok(req) = self.rx.recv() else {
+                return Ok(0);
+            };
+            self.buf = format!("{}\n", req.encode()).into_bytes();
+            self.pos = 0;
+        }
+        let n = (self.buf.len() - self.pos).min(out.len());
+        out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Polls the session's output until a complete frame satisfies `pred`.
+fn wait_for(out: &SharedBuf, what: &str, pred: impl Fn(&Response) -> bool) -> Response {
+    let deadline = std::time::Instant::now() + Duration::from_secs(120);
+    loop {
+        let bytes = out.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).expect("frames are UTF-8");
+        // Only lines already terminated by \n are complete frames.
+        let complete = &text[..text.rfind('\n').map_or(0, |i| i + 1)];
+        for line in complete.lines() {
+            let r = Response::decode(line).expect("daemon emits well-formed frames");
+            if pred(&r) {
+                return r;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timed out waiting for {what}; saw:\n{text}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn cancel_stops_queued_and_running_jobs_and_spares_the_cache() {
+    // One worker: job 1 (a run of over a second) occupies it, job 2
+    // waits queued. Cancelling 2 immediately kills it before it starts
+    // (cycle 0); job 1 is cancelled only after its first heartbeat
+    // proves it is mid-run, so its cancel cycle must be > 0. Job 3 must
+    // then run clean through the same cache.
+    let mut long = quick_recipe("la");
+    long.size = "medium".to_owned();
+    long.budget = Some(200_000);
+    let reference = resolve_recipe(&quick_recipe("la")).unwrap().run();
+
+    let daemon = Arc::new(Daemon::start(forked_config(1)));
+    let (tx, rx) = std::sync::mpsc::channel();
+    let out = SharedBuf::default();
+    let session = {
+        let daemon = Arc::clone(&daemon);
+        let out = out.clone();
+        std::thread::spawn(move || {
+            daemon.serve(
+                BufReader::new(ChannelReader {
+                    rx,
+                    buf: Vec::new(),
+                    pos: 0,
+                }),
+                out,
+            );
+        })
+    };
+    let send = |req: Request| tx.send(req).expect("session is reading");
+
+    send(Request::Submit {
+        recipe: long.clone(),
+        trace: None,
+    });
+    send(Request::Submit {
+        recipe: long,
+        trace: None,
+    });
+    send(Request::Cancel { job: 2 });
+    wait_for(
+        &out,
+        "job 1's first heartbeat",
+        |r| matches!(r, Response::Progress { job: 1, cycle } if *cycle > 0),
+    );
+    send(Request::Cancel { job: 1 });
+    wait_for(&out, "job 1's cancellation", |r| {
+        matches!(r, Response::Cancelled { job: 1, .. })
+    });
+    send(Request::Submit {
+        recipe: quick_recipe("la"),
+        trace: None,
+    });
+    send(Request::Shutdown);
+    session.join().unwrap();
+
+    let bytes = out.0.lock().unwrap().clone();
+    let responses: Vec<Response> = String::from_utf8(bytes)
+        .unwrap()
+        .lines()
+        .map(|l| Response::decode(l).unwrap())
+        .collect();
+
+    match terminal_for(&responses, 2) {
+        Response::Cancelled { cycle, .. } => {
+            assert_eq!(*cycle, 0, "job 2 never started");
+        }
+        other => panic!("job 2 should be cancelled, got {other:?}"),
+    }
+    match terminal_for(&responses, 1) {
+        Response::Cancelled { cycle, .. } => {
+            assert!(*cycle > 0, "job 1 was cancelled mid-run");
+        }
+        other => panic!("job 1 should be cancelled, got {other:?}"),
+    }
+    match terminal_for(&responses, 3) {
+        Response::Result(r) => assert_eq!(r.stats, reference.stats.to_string()),
+        other => panic!("job 3 should complete, got {other:?}"),
+    }
+
+    let stats = daemon.stats();
+    assert_eq!(stats.cancelled, 2);
+    assert_eq!(stats.completed, 1);
+    // Job 1's budget differs from job 3's, so their fork keys differ;
+    // what matters is that the cancelled jobs corrupted nothing and the
+    // cache still serves. Job 2 died while queued and never touched the
+    // cache, so the counters partition the two jobs that executed.
+    let fc = &stats.fork_cache;
+    assert_eq!(fc.hits + fc.misses + fc.bypasses + fc.ineligible, 2);
+    assert!(fc.entries >= 1, "job 1's snapshot stayed resident: {fc:?}");
+}
+
+#[test]
+fn malformed_frames_and_unknown_jobs_error_without_killing_the_session() {
+    let daemon = Daemon::start(ServeConfig::default());
+    let garbage = (0, Request::Stats); // placeholder, replaced below
+    let mut script = Paced::new(vec![
+        garbage,
+        (0, Request::Cancel { job: 99 }),
+        (0, Request::Shutdown),
+    ]);
+    // Swap the first line for raw garbage the typed script can't express.
+    script.buf = b"{\"type\" oops\n".to_vec();
+
+    let out = SharedBuf::default();
+    daemon.serve(BufReader::new(script), out.clone());
+    let bytes = out.0.lock().unwrap().clone();
+    let responses: Vec<Response> = String::from_utf8(bytes)
+        .unwrap()
+        .lines()
+        .map(|l| Response::decode(l).unwrap())
+        .collect();
+
+    match &responses[0] {
+        Response::Error {
+            job: None,
+            kind,
+            message,
+            ..
+        } => {
+            assert_eq!(kind, "bad-frame");
+            assert!(message.contains("byte"), "offset reported: {message}");
+        }
+        other => panic!("garbage should error, got {other:?}"),
+    }
+    // The stats frame from the placeholder request proves the session
+    // survived the garbage...
+    assert!(matches!(&responses[1], Response::Stats(s) if s.rejected == 1));
+    // ...as does the unknown-job error after it...
+    match &responses[2] {
+        Response::Error { kind, .. } => assert_eq!(kind, "unknown-job"),
+        other => panic!("cancelling job 99 should error, got {other:?}"),
+    }
+    // ...and shutdown still answers.
+    assert!(matches!(responses.last(), Some(Response::Bye)));
+}
+
+#[test]
+fn bad_recipes_are_rejected_as_structured_errors() {
+    let daemon = Daemon::start(ServeConfig::default());
+    let mut traced_checked = quick_recipe("la");
+    traced_checked.check = true;
+    let responses = run_session(
+        &daemon,
+        vec![
+            submit(quick_recipe("warp-speed")),
+            (
+                0,
+                Request::Submit {
+                    recipe: traced_checked,
+                    trace: Some("/tmp/should-not-exist.petr".into()),
+                },
+            ),
+            (0, Request::Shutdown),
+        ],
+    );
+    match &responses[0] {
+        Response::Error {
+            job: None,
+            kind,
+            message,
+            ..
+        } => {
+            assert_eq!(kind, "bad-recipe");
+            assert!(message.contains("policy"), "{message}");
+        }
+        other => panic!("unknown policy should reject, got {other:?}"),
+    }
+    match &responses[1] {
+        Response::Error { kind, message, .. } => {
+            assert_eq!(kind, "bad-recipe");
+            assert!(message.contains("check"), "{message}");
+        }
+        other => panic!("traced+checked should reject, got {other:?}"),
+    }
+    assert_eq!(daemon.stats().rejected, 2);
+}
+
+#[test]
+fn traced_submissions_write_a_replayable_capture() {
+    let dir = std::env::temp_dir().join("pei-serve-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("atf-la.petr");
+    let _ = std::fs::remove_file(&path);
+
+    let daemon = Daemon::start(ServeConfig::default());
+    let responses = run_session(
+        &daemon,
+        vec![
+            (
+                0,
+                Request::Submit {
+                    recipe: quick_recipe("la"),
+                    trace: Some(path.to_string_lossy().into_owned()),
+                },
+            ),
+            (0, Request::Shutdown),
+        ],
+    );
+    let frame = match terminal_for(&responses, 1) {
+        Response::Result(r) => r,
+        other => panic!("traced run should complete, got {other:?}"),
+    };
+    assert_eq!(frame.trace.as_deref(), Some(&*path.to_string_lossy()));
+
+    let trace = Trace::from_bytes(&std::fs::read(&path).unwrap()).unwrap();
+    assert_eq!(trace.meta_get("spec.workload"), Some("ATF"));
+    assert_eq!(
+        trace.meta_get("stats"),
+        Some(frame.stats.as_str()),
+        "the capture's stats metadata equals the wire stats"
+    );
+    let _ = std::fs::remove_file(&path);
+}

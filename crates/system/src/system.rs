@@ -683,6 +683,49 @@ impl System {
         RunStatus::Completed(self.result(RunOutcome::Completed))
     }
 
+    /// [`run`](System::run), but cooperatively cancellable: the run is
+    /// sliced into [`PauseAt::Cycle`] windows of `slice` cycles, and the
+    /// cancel flag is checked between slices — the entry point for
+    /// long-lived hosts (`pei-serve`) that must abandon an in-flight job
+    /// without killing the process.
+    ///
+    /// `progress` is called with the cycle bound reached after each
+    /// slice that paused (a completed run may finish without any call).
+    /// Returns `None` if the flag was observed set; the machine is then
+    /// mid-run but quiescent (paused at a slice boundary) and should be
+    /// discarded. A slice bound only changes *where* the loop pauses,
+    /// never the event order inside it, so the final [`RunResult`] is
+    /// identical to an unsliced [`run`](System::run) — pinned by test
+    /// and relied on by the daemon's byte-identity contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is zero, plus the harness-misuse panics of
+    /// [`run_paused`](System::run_paused).
+    pub fn run_cancellable(
+        &mut self,
+        max_cycles: Cycle,
+        slice: Cycle,
+        cancel: &std::sync::atomic::AtomicBool,
+        mut progress: impl FnMut(Cycle),
+    ) -> Option<RunResult> {
+        use std::sync::atomic::Ordering;
+        assert!(slice > 0, "slice must be at least one cycle");
+        let mut at = slice;
+        loop {
+            if cancel.load(Ordering::Relaxed) {
+                return None;
+            }
+            match self.run_paused(max_cycles, Some(PauseAt::Cycle(at))) {
+                RunStatus::Completed(r) => return Some(r),
+                RunStatus::Paused { at: reached } => {
+                    progress(reached);
+                    at = reached.saturating_add(slice);
+                }
+            }
+        }
+    }
+
     /// Runs one sweep of the invariant auditors. Out-of-line and only
     /// reached in checked mode; the `CheckState` is taken and put back
     /// (the outbox pattern) so it can borrow the rest of the machine

@@ -344,3 +344,54 @@ fn truncated_and_corrupt_snapshots_error_instead_of_panicking() {
         }
     }
 }
+
+#[test]
+fn cancellable_run_is_byte_identical_to_unsliced() {
+    // Slicing the loop into PauseAt::Cycle windows changes where the
+    // driver pauses, never the event order inside a window — the
+    // foundation of pei-serve's byte-identity contract.
+    let cfg = MachineConfig::scaled(DispatchPolicy::LocalityAware);
+    let reference = build(cfg, 48).run(LIMIT);
+    assert!(reference.ok());
+
+    let never = std::sync::atomic::AtomicBool::new(false);
+    let mut beats = Vec::new();
+    let sliced = build(cfg, 48)
+        .run_cancellable(LIMIT, 500, &never, |at| beats.push(at))
+        .expect("flag never set");
+    assert_eq!(fingerprint(&sliced), fingerprint(&reference));
+    assert!(
+        beats.len() as u64 >= reference.cycles / 500 - 1,
+        "expected a heartbeat per slice, got {} over {} cycles",
+        beats.len(),
+        reference.cycles
+    );
+    assert!(beats.windows(2).all(|w| w[0] < w[1]), "heartbeats advance");
+}
+
+#[test]
+fn cancelled_run_stops_and_leaves_the_machine_resumable() {
+    let cfg = MachineConfig::scaled(DispatchPolicy::LocalityAwareBalanced);
+    let reference = build(cfg, 48).run(LIMIT);
+    assert!(reference.ok());
+
+    // A pre-set flag stops the run before any work.
+    let set = std::sync::atomic::AtomicBool::new(true);
+    let mut m = build(cfg, 48);
+    assert!(m.run_cancellable(LIMIT, 500, &set, |_| ()).is_none());
+
+    // A flag raised mid-run (from the progress hook, as the daemon's
+    // cancel request effectively does) stops at the next slice edge —
+    // and the abandoned machine is merely paused, not corrupted:
+    // resuming it completes byte-identically.
+    let cancel = std::sync::atomic::AtomicBool::new(false);
+    let mut m = build(cfg, 48);
+    let out = m.run_cancellable(LIMIT, 500, &cancel, |at| {
+        if at >= 2_000 {
+            cancel.store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+    });
+    assert!(out.is_none(), "cancel observed at a slice boundary");
+    let resumed = m.run(LIMIT);
+    assert_eq!(fingerprint(&resumed), fingerprint(&reference));
+}

@@ -26,11 +26,13 @@
 //! This crate's place in the workspace is mapped in DESIGN.md §5.
 
 pub mod ids;
+pub mod json;
 pub mod mem;
 pub mod operand;
 pub mod packet;
 pub mod pim;
 pub mod snap;
+pub mod wire;
 
 pub use ids::{BankId, CoreId, CubeId, L3BankId, VaultId};
 pub use mem::{AccessKind, MemReq, ReqId};

@@ -28,6 +28,7 @@ struct Args {
     save_at: Option<u64>,
     save_to: String,
     resume: Option<String>,
+    submit: Option<String>,
 }
 
 const USAGE: &str = "\
@@ -56,6 +57,10 @@ OPTIONS:
       --resume F  restore the snapshot at F and run to completion; the
                   workload is rebuilt from the snapshot's own metadata,
                   so no other arguments are needed
+      --submit S  don't simulate locally: submit the run to the pei-serve
+                  daemon listening on Unix socket S and print its result
+                  (incompatible with --ideal-host, --vm, --record,
+                  --replay, --save-at, and --resume)
   -h, --help      this text
 ";
 
@@ -75,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
         save_at: None,
         save_to: String::from("pei.snap"),
         resume: None,
+        submit: None,
     };
     let mut saw_workload = false;
     let mut it = std::env::args().skip(1);
@@ -127,6 +133,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--save-to" => args.save_to = value("--save-to")?,
             "--resume" => args.resume = Some(value("--resume")?),
+            "--submit" => args.submit = Some(value("--submit")?),
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -140,7 +147,121 @@ fn parse_args() -> Result<Args, String> {
     if args.resume.is_some() && (args.save_at.is_some() || args.record.is_some()) {
         return Err("--resume cannot be combined with --save-at or --record".into());
     }
+    if args.submit.is_some()
+        && (args.ideal_host
+            || args.vm
+            || args.record.is_some()
+            || args.replay.is_some()
+            || args.save_at.is_some()
+            || args.resume.is_some())
+    {
+        return Err(
+            "--submit sends a recipe the daemon can replay; --ideal-host, --vm, --record, \
+             --replay, --save-at, and --resume have no recipe form"
+                .into(),
+        );
+    }
     Ok(args)
+}
+
+/// `--submit`: run the recipe on a `pei-serve` daemon instead of
+/// simulating locally, printing the result in the exact format a local
+/// run prints (the byte-identity contract makes them interchangeable).
+fn submit_to_daemon(socket: &str, args: &Args) -> ! {
+    use pei_types::wire::{Recipe, Request, Response};
+    use std::io::{BufRead, BufReader, Write};
+
+    let mut recipe = Recipe::new(
+        &format!("{}", args.workload).to_lowercase(),
+        &format!("{}", args.size).to_lowercase(),
+        match args.policy {
+            DispatchPolicy::HostOnly => "host",
+            DispatchPolicy::PimOnly => "pim",
+            DispatchPolicy::LocalityAware => "la",
+            DispatchPolicy::LocalityAwareBalanced => "lab",
+        },
+    );
+    recipe.paper = args.paper;
+    recipe.seed = args.seed;
+    recipe.budget = Some(args.budget);
+
+    let stream = std::os::unix::net::UnixStream::connect(socket).unwrap_or_else(|e| {
+        eprintln!("error: cannot reach pei-serve at {socket}: {e}");
+        std::process::exit(1);
+    });
+    let mut writer = stream.try_clone().expect("socket handles clone");
+    writeln!(
+        writer,
+        "{}",
+        Request::Submit {
+            recipe,
+            trace: None
+        }
+        .encode()
+    )
+    .expect("submit frame written");
+    let start = std::time::Instant::now();
+    for line in BufReader::new(stream).lines() {
+        let line = line.unwrap_or_else(|e| {
+            eprintln!("error: connection to {socket} broke: {e}");
+            std::process::exit(1);
+        });
+        match Response::decode(&line) {
+            Err(e) => {
+                eprintln!("error: undecodable frame from the daemon: {e}");
+                std::process::exit(1);
+            }
+            Ok(Response::Ack { job }) => {
+                eprintln!("submitted to {socket} as job {job}...");
+            }
+            Ok(Response::Progress { .. }) => {}
+            Ok(Response::Result(r)) => {
+                let wall = start.elapsed();
+                println!("cycles           {:>14}", r.cycles);
+                println!("instructions     {:>14}", r.instructions);
+                println!(
+                    "ipc              {:>14.3}",
+                    r.instructions as f64 / r.cycles.max(1) as f64
+                );
+                println!("peis             {:>14}", r.peis);
+                println!("pim_fraction     {:>13.1}%", 100.0 * r.pim_fraction);
+                println!("offchip_bytes    {:>14}", r.offchip_bytes);
+                println!(
+                    "offchip_flits    {:>14}",
+                    format!("{}/{}", r.offchip_flits.0, r.offchip_flits.1)
+                );
+                println!("dram_accesses    {:>14}", r.dram_accesses);
+                println!("energy_total_nj  {:>14.0}", r.energy_total_nj);
+                println!(
+                    "sim_speed        {:>11.0} sim-cycles/s",
+                    r.cycles as f64 / wall.as_secs_f64()
+                );
+                if args.stats {
+                    println!("\n--- full statistics ---\n{}", r.stats);
+                }
+                std::process::exit(0);
+            }
+            Ok(Response::Cancelled { job, cycle }) => {
+                eprintln!("error: job {job} was cancelled at cycle {cycle}");
+                std::process::exit(1);
+            }
+            Ok(Response::Error {
+                kind,
+                message,
+                violations,
+                ..
+            }) => {
+                eprintln!("error [{kind}]: {message}");
+                for v in violations {
+                    eprintln!("  violation: {v}");
+                }
+                std::process::exit(1);
+            }
+            Ok(Response::Stats(_) | Response::Bye) => {}
+        }
+    }
+    eprintln!("error: {socket} closed the connection without a result");
+    std::process::exit(1);
 }
 
 /// The snapshot metadata keys `--save-at` writes and `--resume` reads
@@ -225,6 +346,7 @@ fn args_from_meta(snap: &Snapshot, resume_path: &str) -> Result<Args, String> {
         save_at: None,
         save_to: String::new(),
         resume: None,
+        submit: None,
     })
 }
 
@@ -236,6 +358,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if let Some(socket) = &cli.submit {
+        submit_to_daemon(socket, &cli);
+    }
 
     // Under --resume the run is described by the snapshot's own
     // metadata, not the command line (only --stats carries over).
