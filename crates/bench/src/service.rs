@@ -193,9 +193,89 @@ pub struct CacheStats {
     pub entries: u64,
     /// Total bytes of resident snapshot state.
     pub bytes: u64,
+    /// The byte budget eviction keeps [`bytes`](CacheStats::bytes)
+    /// under (0 = unbounded).
+    pub capacity_bytes: u64,
+    /// Warm snapshots evicted to stay inside the budget.
+    pub evictions: u64,
+    /// Total bytes those evictions released.
+    pub evicted_bytes: u64,
     /// Per-job hit/miss/bypass/ineligible classification (same meaning
     /// as the batch runner's [`ForkStats`]).
     pub fork: ForkStats,
+}
+
+/// One cached decision for a fork key, with the LRU stamp eviction
+/// orders by (meaningful only for `Warm` residents).
+struct Entry {
+    resident: Resident,
+    last_used: u64,
+}
+
+/// The map plus the byte/LRU accounting it must stay consistent with —
+/// everything eviction reads or writes lives under one mutex.
+#[derive(Default)]
+struct Entries {
+    map: HashMap<String, Entry>,
+    /// Bytes of all `Warm` residents (kept incrementally; eviction
+    /// compares this against the budget).
+    resident_bytes: u64,
+    /// Monotonic access counter stamping `last_used`.
+    tick: u64,
+    evictions: u64,
+    evicted_bytes: u64,
+}
+
+impl Entries {
+    fn stamp(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Inserts (or replaces) `key`, keeping `resident_bytes` exact.
+    fn insert(&mut self, key: String, resident: Resident) {
+        if let Resident::Warm(s) = &resident {
+            self.resident_bytes += s.as_bytes().len() as u64;
+        }
+        let stamp = self.stamp();
+        if let Some(old) = self.map.insert(
+            key,
+            Entry {
+                resident,
+                last_used: stamp,
+            },
+        ) {
+            if let Resident::Warm(s) = &old.resident {
+                self.resident_bytes -= s.as_bytes().len() as u64;
+            }
+        }
+    }
+
+    /// Evicts least-recently-used `Warm` entries until `resident_bytes`
+    /// fits `budget`. Evicted keys are removed outright: the next job
+    /// of that key re-warms as an ordinary miss, so eviction can never
+    /// change results — only where the warmup cycles are spent.
+    fn evict_to(&mut self, budget: u64) {
+        while self.resident_bytes > budget {
+            let victim = self
+                .map
+                .iter()
+                .filter(|(_, e)| matches!(e.resident, Resident::Warm(_)))
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            let Some(key) = victim else { break };
+            if let Some(Entry {
+                resident: Resident::Warm(s),
+                ..
+            }) = self.map.remove(&key)
+            {
+                let bytes = s.as_bytes().len() as u64;
+                self.resident_bytes -= bytes;
+                self.evictions += 1;
+                self.evicted_bytes += bytes;
+            }
+        }
+    }
 }
 
 /// A process-lifetime warm-snapshot cache for daemon-style hosts.
@@ -213,9 +293,18 @@ pub struct CacheStats {
 /// counters are atomics — workers run concurrently. Two concurrent
 /// first-jobs of one key may both warm; the losing insert is discarded
 /// and both results are still correct (warming is pure).
+///
+/// Residency is bounded: [`with_budget`](ForkCache::with_budget) caps
+/// the bytes of `Warm` snapshots, evicting least-recently-used entries
+/// when an insert overflows the cap. An evicted key is forgotten
+/// entirely — its next job counts as a miss and re-warms — so eviction
+/// trades warmup time for memory and never changes a single result
+/// byte (pinned by test and CI).
 pub struct ForkCache {
     policy: ForkPolicy,
-    entries: Mutex<HashMap<String, Resident>>,
+    /// Byte budget for resident `Warm` snapshots; `None` = unbounded.
+    budget: Option<u64>,
+    entries: Mutex<Entries>,
     hits: AtomicU64,
     misses: AtomicU64,
     bypasses: AtomicU64,
@@ -223,15 +312,35 @@ pub struct ForkCache {
 }
 
 impl ForkCache {
-    /// An empty cache running under `policy`.
+    /// An empty, unbounded cache running under `policy`.
     pub fn new(policy: ForkPolicy) -> ForkCache {
+        ForkCache::with_budget(policy, None)
+    }
+
+    /// An empty cache whose resident `Warm` snapshots are kept under
+    /// `budget` bytes by LRU eviction (`None` = unbounded). Eviction is
+    /// invisible in results: an evicted key's next job re-warms cold,
+    /// byte-identical — only the warmup cost comes back.
+    pub fn with_budget(policy: ForkPolicy, budget: Option<u64>) -> ForkCache {
         ForkCache {
             policy,
-            entries: Mutex::new(HashMap::new()),
+            budget,
+            entries: Mutex::new(Entries::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             bypasses: AtomicU64::new(0),
             ineligible: AtomicU64::new(0),
+        }
+    }
+
+    /// Inserts under the budget: the entry lands, then LRU `Warm`
+    /// entries (possibly the one just inserted) are evicted until the
+    /// residency fits.
+    fn insert_bounded(&self, key: String, resident: Resident) {
+        let mut entries = self.entries.lock().unwrap();
+        entries.insert(key, resident);
+        if let Some(budget) = self.budget {
+            entries.evict_to(budget);
         }
     }
 
@@ -273,10 +382,16 @@ impl ForkCache {
             return run_spec_cancellable(spec, slice, cancel, progress);
         };
         let resident = {
-            let entries = self.entries.lock().unwrap();
-            match entries.get(&key) {
-                Some(Resident::Warm(snap)) => Some(Some(Arc::clone(snap))),
-                Some(Resident::Bypass) => Some(None),
+            let mut entries = self.entries.lock().unwrap();
+            let stamp = entries.stamp();
+            match entries.map.get_mut(&key) {
+                Some(entry) => match &entry.resident {
+                    Resident::Warm(snap) => {
+                        entry.last_used = stamp;
+                        Some(Some(Arc::clone(snap)))
+                    }
+                    Resident::Bypass => Some(None),
+                },
                 None => None,
             }
         };
@@ -288,7 +403,7 @@ impl ForkCache {
                 if sys.restore(&snap).is_err() {
                     // A key collision that doesn't fit this machine;
                     // deterministic for the key, so remember the bypass.
-                    self.entries.lock().unwrap().insert(key, Resident::Bypass);
+                    self.insert_bounded(key, Resident::Bypass);
                     return run_spec_cancellable(spec, slice, cancel, progress);
                 }
                 sys.run_cancellable(spec.max_cycles, slice, cancel, progress)
@@ -303,7 +418,7 @@ impl ForkCache {
                     Warmup::Done(r) => {
                         // The whole run precedes any PEI; nothing to
                         // share for this key, and `r` is the full result.
-                        self.entries.lock().unwrap().insert(key, Resident::Bypass);
+                        self.insert_bounded(key, Resident::Bypass);
                         if cancel.load(Ordering::Relaxed) {
                             return None;
                         }
@@ -318,7 +433,7 @@ impl ForkCache {
                         } else {
                             Resident::Bypass
                         };
-                        self.entries.lock().unwrap().insert(key, resident);
+                        self.insert_bounded(key, resident);
                         // The warmed machine finishes this job itself.
                         sys.run_cancellable(spec.max_cycles, slice, cancel, progress)
                     }
@@ -338,16 +453,21 @@ impl ForkCache {
     /// Current occupancy and per-job counters (the daemon's `stats`
     /// frame).
     pub fn stats(&self) -> CacheStats {
-        let (entries, bytes) = {
-            let map = self.entries.lock().unwrap();
-            map.values().fold((0u64, 0u64), |(n, b), r| match r {
-                Resident::Warm(s) => (n + 1, b + s.as_bytes().len() as u64),
-                Resident::Bypass => (n, b),
-            })
+        let (entries, bytes, evictions, evicted_bytes) = {
+            let e = self.entries.lock().unwrap();
+            let warm = e
+                .map
+                .values()
+                .filter(|x| matches!(x.resident, Resident::Warm(_)))
+                .count() as u64;
+            (warm, e.resident_bytes, e.evictions, e.evicted_bytes)
         };
         CacheStats {
             entries,
             bytes,
+            capacity_bytes: self.budget.unwrap_or(0),
+            evictions,
+            evicted_bytes,
             fork: ForkStats {
                 hits: self.hits.load(Ordering::Relaxed),
                 misses: self.misses.load(Ordering::Relaxed),
@@ -503,6 +623,58 @@ mod tests {
         let after = cache.run(&la);
         assert_eq!(after.stats, reference.stats);
         assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn eviction_under_a_tiny_budget_stays_byte_identical_to_cold() {
+        let a = resolve_recipe(&quick_recipe("la")).unwrap();
+        let mut r = quick_recipe("la");
+        r.seed = 8; // a different fork key
+        let b = resolve_recipe(&r).unwrap();
+        let (cold_a, cold_b) = (a.run(), b.run());
+
+        // A 1-byte budget evicts every snapshot the moment it lands:
+        // every job re-warms, none hit, and all stay byte-identical.
+        let cache = ForkCache::with_budget(ForkPolicy::always(), Some(1));
+        assert_eq!(cache.run(&a).stats, cold_a.stats);
+        assert_eq!(cache.run(&b).stats, cold_b.stats);
+        assert_eq!(cache.run(&a).stats, cold_a.stats);
+        let s = cache.stats();
+        assert_eq!(s.entries, 0, "nothing fits a 1-byte budget");
+        assert_eq!(s.bytes, 0);
+        assert_eq!(s.capacity_bytes, 1);
+        assert_eq!(s.fork.misses, 3, "evicted keys miss again");
+        assert_eq!(s.fork.hits, 0);
+        assert_eq!(s.evictions, 3);
+        assert!(s.evicted_bytes > 0);
+    }
+
+    #[test]
+    fn lru_eviction_drops_the_coldest_key_first() {
+        let a = resolve_recipe(&quick_recipe("la")).unwrap();
+        let mut r = quick_recipe("la");
+        r.seed = 8;
+        let b = resolve_recipe(&r).unwrap();
+
+        // Measure one resident snapshot, then budget for one-and-a-half:
+        // either key fits alone (their sizes differ only marginally by
+        // seed), both together never do.
+        let probe = ForkCache::new(ForkPolicy::always());
+        probe.run(&a);
+        let one = probe.stats().bytes;
+        assert!(one > 0);
+
+        let cache = ForkCache::with_budget(ForkPolicy::always(), Some(one + one / 2));
+        let cold_a = a.run();
+        assert_eq!(cache.run(&a).stats, cold_a.stats); // miss, A resident
+        assert_eq!(cache.run(&b).stats, b.run().stats); // miss, evicts A
+        assert_eq!(cache.run(&b).stats, b.run().stats); // hit: B survived
+        assert_eq!(cache.run(&a).stats, cold_a.stats); // miss: A was evicted
+        let s = cache.stats();
+        assert_eq!(s.fork.hits, 1, "the freshest key stayed: {s:?}");
+        assert_eq!(s.fork.misses, 3);
+        assert!(s.evictions >= 1);
+        assert!(s.bytes <= one + one / 2, "residency respects the budget");
     }
 
     #[test]

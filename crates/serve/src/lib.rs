@@ -7,21 +7,33 @@
 //! `Arc<Graph>` input cache and a resident
 //! [`ForkCache`] of warm snapshots alive
 //! across submissions, so the tenth job of a sweep starts where the
-//! first one left the machine.
+//! first one left the machine. Residency is bounded: the snapshot cache
+//! evicts least-recently-used entries past its byte budget
+//! ([`ServeConfig::cache_bytes`]), trading warmup time for memory
+//! without ever changing a result byte.
 //!
-//! The wire protocol is newline-delimited JSON over a Unix socket (or
-//! stdio); the frame types live in [`pei_types::wire`] and the grammar
-//! in DESIGN.md §12. A session submits recipes and receives, per job:
-//! one `ack` carrying the job id, `progress` heartbeats while the run
-//! advances, and exactly one terminal frame — `result`, `cancelled`, or
-//! a structured `error`. Malformed frames and failed runs (checked-mode
-//! violations, stalls, cycle limits) come back as `error` frames; the
-//! daemon never dies on a bad submission.
+//! The wire protocol is newline-delimited JSON over a Unix socket, TCP,
+//! or stdio; the frame types live in [`pei_types::wire`] and the
+//! grammar in DESIGN.md §12. A session submits recipes — optionally
+//! tagged with a `tenant` and a `priority` band — and receives, per
+//! job: one `ack` carrying the job id, `progress` heartbeats while the
+//! run advances, and exactly one terminal frame — `result`,
+//! `cancelled`, or a structured `error`. Malformed frames and failed
+//! runs (checked-mode violations, stalls, cycle limits, even a worker
+//! panic) come back as `error` frames; the daemon never dies on a bad
+//! submission.
+//!
+//! Scheduling is strict across priority bands and fair within one:
+//! each band keeps a sub-queue per tenant, drained by deficit
+//! round-robin with unit job cost, so a tenant flooding the queue
+//! cannot starve the others — under saturation any two
+//! continuously-backlogged tenants' completion counts stay within
+//! `workers + 1` jobs of each other (the DRR bound with quantum 1).
 //!
 //! The byte-identity contract holds end to end: the `stats` text inside
 //! a `result` frame equals the one-shot binary's rendering of the same
-//! recipe, whichever cache path served the job (pinned by this crate's
-//! tests and the CI serve-smoke job).
+//! recipe, whichever cache or scheduling path served the job (pinned by
+//! this crate's tests and the CI serve-smoke job).
 
 use pei_bench::runner::{ForkPolicy, RunSpec};
 use pei_bench::service::{resolve_capture, resolve_recipe, ForkCache};
@@ -29,7 +41,8 @@ use pei_bench::tracecap::CaptureSpec;
 use pei_system::RunResult;
 use pei_trace::Recorder;
 use pei_types::wire::{
-    ForkCacheStat, Recipe, Request, Response, ResultFrame, StatsFrame, WorkerStat,
+    ForkCacheStat, Priority, Recipe, Request, Response, ResultFrame, StatsFrame, TenantStat,
+    WorkerStat,
 };
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, Write};
@@ -37,7 +50,23 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Instant;
+
+/// Default byte budget for the resident warm-snapshot cache.
+pub const DEFAULT_CACHE_BYTES: u64 = 256 << 20;
+
+/// Tenant name used when a submission names none.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Queue-wait samples retained per tenant for the p50/p95 figures in
+/// the `stats` frame (a sliding window of the most recent waits).
+const WAIT_SAMPLES: usize = 512;
+
+/// The pseudo fault kind that makes the executing worker panic mid-job.
+/// Like the simulator fault kinds it is for tests only (the drain-path
+/// pinning in this crate's suite and CI); it is intercepted by the
+/// daemon before recipe resolution and never reaches the simulator.
+pub const PANIC_WORKER_FAULT: &str = "panic-worker";
 
 /// How a [`Daemon`] is provisioned.
 #[derive(Debug, Clone)]
@@ -52,6 +81,9 @@ pub struct ServeConfig {
     pub slice: u64,
     /// Warm-fork policy for the resident snapshot cache.
     pub fork: ForkPolicy,
+    /// Byte budget for resident warm snapshots; LRU entries are evicted
+    /// past it. `None` = unbounded (the pre-budget behavior).
+    pub cache_bytes: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +92,7 @@ impl Default for ServeConfig {
             workers: 1,
             slice: 1_000_000,
             fork: ForkPolicy::default(),
+            cache_bytes: Some(DEFAULT_CACHE_BYTES),
         }
     }
 }
@@ -72,6 +105,9 @@ struct Job {
     /// `Some` when the submission asked for a `.petr` capture: the
     /// replayable recipe and the daemon-side path to write.
     capture: Option<(CaptureSpec, String)>,
+    /// Test fault: panic the worker instead of running (see
+    /// [`PANIC_WORKER_FAULT`]).
+    panic: bool,
     cancel: Arc<AtomicBool>,
     reply: Sender<Response>,
 }
@@ -84,15 +120,134 @@ struct WorkerSlot {
     busy_ms: u64,
 }
 
+/// Per-tenant scheduler accounting (mirrors [`TenantStat`]).
+#[derive(Default)]
+struct TenantAcct {
+    submitted: u64,
+    completed: u64,
+    /// Most recent queue waits, milliseconds (bounded window).
+    waits_ms: VecDeque<u64>,
+}
+
+/// One tenant's sub-queue within a band, with its DRR deficit counter.
+#[derive(Default)]
+struct TenantQueue {
+    /// Queued jobs with their enqueue instant (for the wait percentiles).
+    jobs: VecDeque<(Job, Instant)>,
+    /// Deficit round-robin credit, in job units.
+    deficit: u64,
+}
+
+/// DRR quantum, in job units. Jobs have no reliable cost estimate
+/// before they run, so cost = quantum = 1: each backlogged tenant
+/// releases exactly one job per round, and two continuously-backlogged
+/// tenants' service never diverges by more than one round's worth of
+/// in-flight work (`workers + 1` jobs).
+const DRR_QUANTUM: u64 = 1;
+
+/// One strict-priority band: per-tenant sub-queues plus the round-robin
+/// ring of tenants that currently have backlog. Invariant: a tenant is
+/// in `ring` exactly once iff its queue is non-empty.
+#[derive(Default)]
+struct Band {
+    queues: HashMap<String, TenantQueue>,
+    ring: VecDeque<String>,
+}
+
+impl Band {
+    fn push(&mut self, tenant: &str, job: Job) {
+        let q = self.queues.entry(tenant.to_owned()).or_default();
+        if q.jobs.is_empty() {
+            self.ring.push_back(tenant.to_owned());
+        }
+        q.jobs.push_back((job, Instant::now()));
+    }
+
+    /// Deficit round-robin over the backlogged tenants: the front
+    /// tenant earns one quantum, releases one job, and goes to the back
+    /// of the ring if it still has backlog (leftover deficit is reset
+    /// when the backlog empties, so idle tenants bank no credit).
+    fn pop(&mut self) -> Option<(Job, Instant, String)> {
+        while let Some(tenant) = self.ring.pop_front() {
+            let q = self
+                .queues
+                .get_mut(&tenant)
+                .expect("ring tenants have queues");
+            q.deficit += DRR_QUANTUM;
+            if let Some((job, enqueued)) = q.jobs.pop_front() {
+                q.deficit -= 1;
+                if q.jobs.is_empty() {
+                    q.deficit = 0;
+                } else {
+                    self.ring.push_back(tenant.clone());
+                }
+                return Some((job, enqueued, tenant));
+            }
+            // A tenant in the ring with no backlog violates the
+            // invariant; drop it and keep scanning.
+            q.deficit = 0;
+        }
+        None
+    }
+
+    fn len(&self) -> u64 {
+        self.queues.values().map(|q| q.jobs.len() as u64).sum()
+    }
+}
+
+/// Everything the scheduler must keep mutually consistent — queues,
+/// worker slots, running/outstanding counts, per-tenant accounting —
+/// lives under this one mutex, so a `stats` frame is a single coherent
+/// snapshot (no `running > 0` with every slot idle).
+struct Sched {
+    /// Strict bands, indexed by [`band_index`].
+    bands: [Band; 3],
+    slots: Vec<WorkerSlot>,
+    /// Jobs currently executing.
+    running: u64,
+    /// Queued + running jobs; `shutdown` waits (on [`Shared::drained`])
+    /// until this reaches zero.
+    outstanding: u64,
+    tenants: HashMap<String, TenantAcct>,
+}
+
+impl Sched {
+    /// Highest-priority job, fair within the band.
+    fn pop(&mut self) -> Option<(Job, Instant, String)> {
+        self.bands.iter_mut().find_map(Band::pop)
+    }
+
+    fn queue_depth(&self) -> u64 {
+        self.bands.iter().map(Band::len).sum()
+    }
+}
+
+fn band_index(p: Priority) -> usize {
+    match p {
+        Priority::High => 0,
+        Priority::Normal => 1,
+        Priority::Low => 2,
+    }
+}
+
 /// State shared by every session and worker of one daemon.
 struct Shared {
-    queue: Mutex<VecDeque<Job>>,
+    sched: Mutex<Sched>,
+    /// Signals workers that a job was queued (or shutdown was set).
     ready: Condvar,
-    /// Set by `shutdown` frames (and by [`Daemon`]'s drop). Workers
-    /// drain the queue, then exit.
+    /// Signals the draining `shutdown` handler that
+    /// [`Sched::outstanding`] reached zero. No busy-wait: the handler
+    /// sleeps on this condvar and worker release (normal or via the
+    /// panic guard) notifies it.
+    drained: Condvar,
+    /// Set by `shutdown` frames (and by [`Daemon`]'s drop), always
+    /// under the [`Sched`] lock so no submit can race past a worker's
+    /// exit check. Workers drain the queue, then exit.
     shutdown: AtomicBool,
     /// Cancel flags of every queued or running job, removed on the
     /// terminal frame; `cancel` frames look their target up here.
+    /// Lock order: may be taken *while holding* the `sched` lock, never
+    /// held while *acquiring* it.
     jobs: Mutex<HashMap<u64, Arc<AtomicBool>>>,
     next_job: AtomicU64,
     cache: ForkCache,
@@ -101,19 +256,15 @@ struct Shared {
     failed: AtomicU64,
     cancelled: AtomicU64,
     rejected: AtomicU64,
-    running: AtomicU64,
-    /// Queued + running jobs; `shutdown` drains until this hits zero.
-    outstanding: AtomicU64,
-    slots: Mutex<Vec<WorkerSlot>>,
     start: Instant,
 }
 
 /// A running simulation service: a worker pool draining a shared job
 /// queue through the resident caches. Sessions attach via
 /// [`serve`](Daemon::serve) — any `BufRead`/`Write` pair works, so the
-/// same daemon backs a Unix socket, stdio, or an in-process test
-/// harness. Dropping the daemon drains queued jobs and joins the
-/// workers.
+/// same daemon backs a Unix socket, a TCP connection, stdio, or an
+/// in-process test harness. Dropping the daemon drains queued jobs and
+/// joins the workers.
 pub struct Daemon {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
@@ -124,20 +275,24 @@ impl Daemon {
     pub fn start(cfg: ServeConfig) -> Daemon {
         let workers = cfg.workers.max(1);
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
+            sched: Mutex::new(Sched {
+                bands: Default::default(),
+                slots: vec![WorkerSlot::default(); workers],
+                running: 0,
+                outstanding: 0,
+                tenants: HashMap::new(),
+            }),
             ready: Condvar::new(),
+            drained: Condvar::new(),
             shutdown: AtomicBool::new(false),
             jobs: Mutex::new(HashMap::new()),
             next_job: AtomicU64::new(0),
-            cache: ForkCache::new(cfg.fork),
+            cache: ForkCache::with_budget(cfg.fork, cfg.cache_bytes),
             slice: cfg.slice.max(1),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
-            running: AtomicU64::new(0),
-            outstanding: AtomicU64::new(0),
-            slots: Mutex::new(vec![WorkerSlot::default(); workers]),
             start: Instant::now(),
         });
         let workers = (0..workers)
@@ -177,7 +332,10 @@ impl Daemon {
 
 impl Drop for Daemon {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Relaxed);
+        {
+            let _s = self.shared.sched.lock().unwrap();
+            self.shared.shutdown.store(true, Ordering::Relaxed);
+        }
         self.shared.ready.notify_all();
         for h in self.workers.drain(..) {
             let _ = h.join();
@@ -185,48 +343,142 @@ impl Drop for Daemon {
     }
 }
 
+/// Restores a worker's claim on the scheduler: slot freed, counters
+/// stepped, the draining shutdown handler woken if this was the last
+/// outstanding job. Shared by the normal completion path and the panic
+/// guard, so the accounting is identical whether `execute` returned or
+/// unwound.
+fn release_claim(shared: &Shared, slot: usize, tenant: &str, busy_ms: u64) {
+    let mut s = shared.sched.lock().unwrap();
+    s.slots[slot].busy = false;
+    s.slots[slot].jobs += 1;
+    s.slots[slot].busy_ms += busy_ms;
+    s.running -= 1;
+    s.outstanding -= 1;
+    s.tenants
+        .entry(tenant.to_owned())
+        .or_default()
+        .completed += 1;
+    if s.outstanding == 0 {
+        shared.drained.notify_all();
+    }
+}
+
+/// Armed around job execution: if the worker unwinds mid-job, the drop
+/// handler makes the job externally indistinguishable from a reported
+/// failure — the cancel-map entry is removed, a structured
+/// `worker-panic` error frame is the job's terminal frame (so clients
+/// never block on a silent job), the job counts as `failed`, and the
+/// slot/running/outstanding claim is released (so a draining `shutdown`
+/// still reaches zero and answers `bye`). Defused on normal return.
+struct PanicGuard<'a> {
+    shared: &'a Shared,
+    slot: usize,
+    id: u64,
+    tenant: String,
+    reply: Sender<Response>,
+    began: Instant,
+    armed: bool,
+}
+
+impl PanicGuard<'_> {
+    fn defuse(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for PanicGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        // Scoped: never hold the jobs lock while acquiring sched.
+        self.shared.jobs.lock().unwrap().remove(&self.id);
+        self.shared.failed.fetch_add(1, Ordering::Relaxed);
+        let _ = self.reply.send(Response::Error {
+            job: Some(self.id),
+            kind: "worker-panic".to_owned(),
+            message: format!(
+                "worker panicked while executing job {}; the job is counted as failed and the daemon keeps serving",
+                self.id
+            ),
+            violations: Vec::new(),
+        });
+        release_claim(
+            self.shared,
+            self.slot,
+            &self.tenant,
+            self.began.elapsed().as_millis() as u64,
+        );
+    }
+}
+
 /// Claims jobs off the shared queue until the queue is empty *and*
-/// shutdown was requested (queued work always drains).
+/// shutdown was requested (queued work always drains). A panicking job
+/// does not kill the worker: the unwind is caught, the [`PanicGuard`]
+/// restores the claim, and the loop keeps serving.
 fn worker_loop(shared: &Shared, slot: usize) {
     loop {
-        let job = {
-            let mut q = shared.queue.lock().unwrap();
+        let (job, tenant) = {
+            let mut s = shared.sched.lock().unwrap();
             loop {
-                if let Some(job) = q.pop_front() {
-                    break job;
+                if let Some((job, enqueued, tenant)) = s.pop() {
+                    let wait_ms = enqueued.elapsed().as_millis() as u64;
+                    let acct = s.tenants.entry(tenant.clone()).or_default();
+                    if acct.waits_ms.len() == WAIT_SAMPLES {
+                        acct.waits_ms.pop_front();
+                    }
+                    acct.waits_ms.push_back(wait_ms);
+                    s.running += 1;
+                    s.slots[slot].busy = true;
+                    break (job, tenant);
                 }
                 if shared.shutdown.load(Ordering::Relaxed) {
                     return;
                 }
-                q = shared.ready.wait(q).unwrap();
+                s = shared.ready.wait(s).unwrap();
             }
         };
-        shared.running.fetch_add(1, Ordering::Relaxed);
-        shared.slots.lock().unwrap()[slot].busy = true;
         let began = Instant::now();
-        execute(shared, job);
-        let busy_ms = began.elapsed().as_millis() as u64;
-        {
-            let mut slots = shared.slots.lock().unwrap();
-            slots[slot].busy = false;
-            slots[slot].jobs += 1;
-            slots[slot].busy_ms += busy_ms;
+        let mut guard = PanicGuard {
+            shared,
+            slot,
+            id: job.id,
+            tenant: tenant.clone(),
+            reply: job.reply.clone(),
+            began,
+            armed: true,
+        };
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute(shared, job);
+        }))
+        .is_err();
+        if !unwound {
+            guard.defuse();
+            release_claim(shared, slot, &tenant, began.elapsed().as_millis() as u64);
         }
-        shared.running.fetch_sub(1, Ordering::Relaxed);
-        shared.outstanding.fetch_sub(1, Ordering::Relaxed);
+        // On unwind the guard already released the claim (its Drop ran
+        // during the unwind, inside catch_unwind).
+        drop(guard);
     }
 }
 
-/// Runs one job to its terminal frame. Never panics the worker: bad
-/// outcomes become `error` frames, cancellation becomes `cancelled`.
+/// Runs one job to its terminal frame. Never panics the worker on bad
+/// outcomes: they become `error` frames, cancellation becomes
+/// `cancelled`. (The [`PANIC_WORKER_FAULT`] test fault panics here on
+/// purpose, to pin the guard in [`worker_loop`].)
 fn execute(shared: &Shared, job: Job) {
     let Job {
         id,
         spec,
         capture,
+        panic,
         cancel,
         reply,
     } = job;
+    if panic {
+        panic!("injected {PANIC_WORKER_FAULT} fault (job {id})");
+    }
     let last_cycle = std::cell::Cell::new(0u64);
     let mut trace_path = None;
     let result = if cancel.load(Ordering::Relaxed) {
@@ -321,29 +573,58 @@ fn result_frame(id: u64, r: &RunResult, trace: Option<String>) -> ResultFrame {
     }
 }
 
+/// Nearest-rank percentile of a sorted sample window (0 when empty).
+fn percentile(sorted: &[u64], p: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((sorted.len() - 1) as u64 * p / 100) as usize]
+}
+
 fn stats_frame(shared: &Shared) -> StatsFrame {
-    let queue_depth = shared.queue.lock().unwrap().len() as u64;
-    let workers = shared
-        .slots
-        .lock()
-        .unwrap()
-        .iter()
-        .map(|s| WorkerStat {
-            jobs: s.jobs,
-            busy: s.busy,
-            busy_ms: s.busy_ms,
-        })
-        .collect();
+    // One lock: queue depth, running, the worker slots, and the tenant
+    // table are a single coherent snapshot (a frame can never report
+    // `running > 0` with every slot idle).
+    let (queue_depth, running, workers, mut tenants) = {
+        let s = shared.sched.lock().unwrap();
+        let workers: Vec<WorkerStat> = s
+            .slots
+            .iter()
+            .map(|w| WorkerStat {
+                jobs: w.jobs,
+                busy: w.busy,
+                busy_ms: w.busy_ms,
+            })
+            .collect();
+        let tenants: Vec<TenantStat> = s
+            .tenants
+            .iter()
+            .map(|(name, acct)| {
+                let mut waits: Vec<u64> = acct.waits_ms.iter().copied().collect();
+                waits.sort_unstable();
+                TenantStat {
+                    tenant: name.clone(),
+                    submitted: acct.submitted,
+                    completed: acct.completed,
+                    wait_p50_ms: percentile(&waits, 50),
+                    wait_p95_ms: percentile(&waits, 95),
+                }
+            })
+            .collect();
+        (s.queue_depth(), s.running, workers, tenants)
+    };
+    tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
     let cache = shared.cache.stats();
     StatsFrame {
         queue_depth,
-        running: shared.running.load(Ordering::Relaxed),
+        running,
         completed: shared.completed.load(Ordering::Relaxed),
         failed: shared.failed.load(Ordering::Relaxed),
         cancelled: shared.cancelled.load(Ordering::Relaxed),
         rejected: shared.rejected.load(Ordering::Relaxed),
         uptime_ms: shared.start.elapsed().as_millis() as u64,
         workers,
+        tenants,
         graph_cache_entries: pei_workloads::cache::len() as u64,
         fork_cache: ForkCacheStat {
             entries: cache.entries,
@@ -352,6 +633,9 @@ fn stats_frame(shared: &Shared) -> StatsFrame {
             misses: cache.fork.misses,
             bypasses: cache.fork.bypasses,
             ineligible: cache.fork.ineligible,
+            evictions: cache.evictions,
+            evicted_bytes: cache.evicted_bytes,
+            capacity_bytes: cache.capacity_bytes,
         },
     }
 }
@@ -391,7 +675,12 @@ fn serve_session<R: BufRead, W: Write + Send + 'static>(
                     violations: Vec::new(),
                 });
             }
-            Ok(Request::Submit { recipe, trace }) => submit(shared, &tx, &recipe, trace),
+            Ok(Request::Submit {
+                recipe,
+                trace,
+                tenant,
+                priority,
+            }) => submit(shared, &tx, &recipe, trace, tenant, priority),
             Ok(Request::Cancel { job }) => {
                 let flag = shared.jobs.lock().unwrap().get(&job).map(Arc::clone);
                 match flag {
@@ -410,17 +699,22 @@ fn serve_session<R: BufRead, W: Write + Send + 'static>(
                 let _ = tx.send(Response::Stats(stats_frame(shared)));
             }
             Ok(Request::Shutdown) => {
-                // Stop accepting (flag set under the queue lock so no
-                // submit can race past a worker's exit check), drain
-                // what's queued and running, then say goodbye.
+                // Stop accepting (flag set under the sched lock so no
+                // submit can race past a worker's exit check), then
+                // sleep until the workers report the last outstanding
+                // job done — a condvar wait, not a poll loop, and
+                // panic-proof because the guard releases claims on
+                // unwind too.
                 {
-                    let _q = shared.queue.lock().unwrap();
+                    let _s = shared.sched.lock().unwrap();
                     shared.shutdown.store(true, Ordering::Relaxed);
                 }
                 shared.ready.notify_all();
-                while shared.outstanding.load(Ordering::Relaxed) > 0 {
-                    std::thread::sleep(Duration::from_millis(2));
+                let mut s = shared.sched.lock().unwrap();
+                while s.outstanding > 0 {
+                    s = shared.drained.wait(s).unwrap();
                 }
+                drop(s);
                 let _ = tx.send(Response::Bye);
                 break;
             }
@@ -433,8 +727,16 @@ fn serve_session<R: BufRead, W: Write + Send + 'static>(
     let _ = writer_thread.join();
 }
 
-/// Handles one `submit` frame: resolve, ack, enqueue.
-fn submit(shared: &Arc<Shared>, tx: &Sender<Response>, recipe: &Recipe, trace: Option<String>) {
+/// Handles one `submit` frame: resolve, ack, enqueue into the tenant's
+/// sub-queue of the requested band.
+fn submit(
+    shared: &Arc<Shared>,
+    tx: &Sender<Response>,
+    recipe: &Recipe,
+    trace: Option<String>,
+    tenant: Option<String>,
+    priority: Priority,
+) {
     let reject = |kind: &str, message: String| {
         shared.rejected.fetch_add(1, Ordering::Relaxed);
         let _ = tx.send(Response::Error {
@@ -444,38 +746,60 @@ fn submit(shared: &Arc<Shared>, tx: &Sender<Response>, recipe: &Recipe, trace: O
             violations: Vec::new(),
         });
     };
-    let spec = match resolve_recipe(recipe) {
+    let tenant = tenant.unwrap_or_else(|| DEFAULT_TENANT.to_owned());
+    if tenant.is_empty() || tenant.len() > 128 {
+        return reject(
+            "bad-recipe",
+            "`tenant` must be 1..=128 bytes (omit it for the default tenant)".to_owned(),
+        );
+    }
+    // The panic-worker test fault is daemon-level: strip it before the
+    // simulator vocabulary sees it.
+    let mut recipe = recipe.clone();
+    let panic = recipe.fault_kinds.iter().any(|k| k == PANIC_WORKER_FAULT);
+    if panic {
+        recipe.fault_kinds.retain(|k| k != PANIC_WORKER_FAULT);
+        if recipe.fault_kinds.is_empty() {
+            recipe.fault_seed = None;
+        }
+    }
+    let spec = match resolve_recipe(&recipe) {
         Ok(spec) => spec,
         Err(e) => return reject("bad-recipe", e),
     };
     let capture = match trace {
         None => None,
-        Some(path) => match resolve_capture(recipe) {
+        Some(path) => match resolve_capture(&recipe) {
             Ok(cs) => Some((cs, path)),
             Err(e) => return reject("bad-recipe", e),
         },
     };
-    // Ack and enqueue under the queue lock: a worker can't pop the job
+    // Ack and enqueue under the sched lock: a worker can't pop the job
     // (so no result frame can overtake the ack), and the shutdown flag
     // can't flip between the check and the push (so no job is ever
     // stranded in the queue after the workers exit).
-    let mut q = shared.queue.lock().unwrap();
+    let mut s = shared.sched.lock().unwrap();
     if shared.shutdown.load(Ordering::Relaxed) {
-        drop(q);
+        drop(s);
         return reject("shutting-down", "the daemon is draining".to_owned());
     }
     let id = shared.next_job.fetch_add(1, Ordering::Relaxed) + 1;
     let cancel = Arc::new(AtomicBool::new(false));
     shared.jobs.lock().unwrap().insert(id, Arc::clone(&cancel));
-    shared.outstanding.fetch_add(1, Ordering::Relaxed);
+    s.outstanding += 1;
+    s.tenants.entry(tenant.clone()).or_default().submitted += 1;
     let _ = tx.send(Response::Ack { job: id });
-    q.push_back(Job {
-        id,
-        spec,
-        capture,
-        cancel,
-        reply: tx.clone(),
-    });
-    drop(q);
+    s.bands[band_index(priority)].push(
+        &tenant,
+        Job {
+            id,
+            spec,
+            capture,
+            panic,
+            cancel,
+            reply: tx.clone(),
+        },
+    );
+    drop(s);
     shared.ready.notify_one();
 }

@@ -1,24 +1,29 @@
 //! `pei-serve` — the PEI simulator as a daemon.
 //!
 //! ```text
-//! pei-serve --socket /tmp/pei.sock          # accept connections
+//! pei-serve --socket /tmp/pei.sock          # accept Unix connections
+//! pei-serve --tcp 127.0.0.1:7745           # accept TCP connections
+//! pei-serve --socket /tmp/pei.sock --tcp 0.0.0.0:7745   # both at once
 //! pei-serve --stdio                         # one session on stdin/stdout
 //! ```
 //!
-//! Submit work with `pei-sim --submit <socket> ...` or by writing
-//! newline-delimited JSON request frames (DESIGN.md §12).
+//! Submit work with `pei-sim --submit <socket-path|host:port> ...` or by
+//! writing newline-delimited JSON request frames (DESIGN.md §12).
 
 use pei_bench::runner::ForkPolicy;
-use pei_serve::{Daemon, ServeConfig};
-use std::io::{BufReader, ErrorKind};
+use pei_serve::{Daemon, ServeConfig, DEFAULT_CACHE_BYTES};
+use std::io::{BufReader, ErrorKind, Read, Write};
+use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
 use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "\
-usage: pei-serve (--socket PATH | --stdio) [options]
+usage: pei-serve (--socket PATH | --tcp ADDR | --stdio) [options]
 
   --socket PATH   listen for connections on a Unix socket at PATH
+  --tcp ADDR      listen for TCP connections on ADDR (host:port);
+                  may be combined with --socket to serve both
   --stdio         serve exactly one session on stdin/stdout, then exit
   --workers N     worker threads executing jobs (default: CPU count)
   --slice N       cancellation/heartbeat granularity in simulated
@@ -26,14 +31,88 @@ usage: pei-serve (--socket PATH | --stdio) [options]
   --no-fork       disable the warm-fork snapshot cache
   --fork-min N    fork only when the warmup prefix is at least N cycles
                   (default: 100000; 0 forks every eligible group)
+  --cache-bytes N byte budget for resident warm snapshots; LRU entries
+                  are evicted past it (default: 268435456 = 256 MiB;
+                  0 = unbounded)
 ";
+
+/// One listening transport: anything that can hand back a buffered
+/// reader/writer pair per connection. Both listeners run non-blocking so
+/// the accept loops can poll the daemon's shutdown flag.
+trait Listener: Send + 'static {
+    fn accept_session(
+        &self,
+    ) -> std::io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)>;
+    fn describe(&self) -> String;
+}
+
+impl Listener for UnixListener {
+    fn accept_session(
+        &self,
+    ) -> std::io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
+        let (stream, _) = self.accept()?;
+        let reading = stream.try_clone()?;
+        Ok((Box::new(reading), Box::new(stream)))
+    }
+    fn describe(&self) -> String {
+        match self.local_addr() {
+            Ok(a) => format!("{a:?}"),
+            Err(_) => "unix socket".to_owned(),
+        }
+    }
+}
+
+impl Listener for TcpListener {
+    fn accept_session(
+        &self,
+    ) -> std::io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
+        let (stream, _) = self.accept()?;
+        stream.set_nodelay(true).ok(); // frames are latency-sensitive lines
+        let reading = stream.try_clone()?;
+        Ok((Box::new(reading), Box::new(stream)))
+    }
+    fn describe(&self) -> String {
+        match self.local_addr() {
+            Ok(a) => format!("tcp {a}"),
+            Err(_) => "tcp".to_owned(),
+        }
+    }
+}
+
+/// Accepts connections until the daemon's shutdown flag flips, serving
+/// each on its own thread. Identical for Unix and TCP: `Daemon::serve`
+/// only needs a `BufRead`/`Write` pair.
+fn accept_loop(daemon: &Arc<Daemon>, listener: impl Listener) {
+    loop {
+        if daemon.shutdown_requested() {
+            break;
+        }
+        match listener.accept_session() {
+            Ok((reader, writer)) => {
+                let daemon = Arc::clone(daemon);
+                std::thread::spawn(move || {
+                    daemon.serve(BufReader::new(reader), writer);
+                });
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                eprintln!("pei-serve: accept on {} failed: {e}", listener.describe());
+                break;
+            }
+        }
+    }
+}
 
 fn main() {
     let mut socket: Option<String> = None;
+    let mut tcp: Option<String> = None;
     let mut stdio = false;
     let mut workers = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut slice: u64 = 1_000_000;
     let mut fork = ForkPolicy::default();
+    let mut cache_bytes: u64 = DEFAULT_CACHE_BYTES;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -43,11 +122,13 @@ fn main() {
         };
         match arg.as_str() {
             "--socket" => socket = Some(value("--socket")),
+            "--tcp" => tcp = Some(value("--tcp")),
             "--stdio" => stdio = true,
             "--workers" => workers = parse(&value("--workers"), "--workers"),
             "--slice" => slice = parse(&value("--slice"), "--slice"),
             "--no-fork" => fork = ForkPolicy::disabled(),
             "--fork-min" => fork.min_prefix = parse(&value("--fork-min"), "--fork-min"),
+            "--cache-bytes" => cache_bytes = parse(&value("--cache-bytes"), "--cache-bytes"),
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return;
@@ -55,14 +136,20 @@ fn main() {
             other => fail(&format!("unknown argument `{other}`")),
         }
     }
-    if stdio == socket.is_some() {
-        fail("pick exactly one of --socket PATH or --stdio");
+    let listening = socket.is_some() || tcp.is_some();
+    if stdio == listening {
+        fail("pick --stdio, or at least one of --socket PATH / --tcp ADDR");
     }
 
     let cfg = ServeConfig {
         workers,
         slice,
         fork,
+        cache_bytes: if cache_bytes == 0 {
+            None
+        } else {
+            Some(cache_bytes)
+        },
     };
     if stdio {
         let daemon = Daemon::start(cfg);
@@ -71,39 +158,38 @@ fn main() {
         return; // dropping the daemon drains and joins the workers
     }
 
-    let path = socket.expect("checked above");
-    let _ = std::fs::remove_file(&path);
-    let listener =
-        UnixListener::bind(&path).unwrap_or_else(|e| fail(&format!("can't bind `{path}`: {e}")));
-    listener
-        .set_nonblocking(true)
-        .unwrap_or_else(|e| fail(&format!("can't poll `{path}`: {e}")));
-    eprintln!("pei-serve: listening on {path}");
     let daemon = Arc::new(Daemon::start(cfg));
-    loop {
-        if daemon.shutdown_requested() {
-            break;
-        }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let daemon = Arc::clone(&daemon);
-                std::thread::spawn(move || {
-                    let Ok(reading) = stream.try_clone() else {
-                        return;
-                    };
-                    daemon.serve(BufReader::new(reading), stream);
-                });
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(20));
-            }
-            Err(e) => {
-                eprintln!("pei-serve: accept failed: {e}");
-                break;
-            }
-        }
+    let mut loops = Vec::new();
+    if let Some(addr) = &tcp {
+        let listener = TcpListener::bind(addr)
+            .unwrap_or_else(|e| fail(&format!("can't bind tcp `{addr}`: {e}")));
+        listener
+            .set_nonblocking(true)
+            .unwrap_or_else(|e| fail(&format!("can't poll tcp `{addr}`: {e}")));
+        eprintln!(
+            "pei-serve: listening on tcp {}",
+            listener.local_addr().map_or_else(|_| addr.clone(), |a| a.to_string())
+        );
+        let daemon = Arc::clone(&daemon);
+        loops.push(std::thread::spawn(move || accept_loop(&daemon, listener)));
     }
-    let _ = std::fs::remove_file(&path);
+    if let Some(path) = &socket {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)
+            .unwrap_or_else(|e| fail(&format!("can't bind `{path}`: {e}")));
+        listener
+            .set_nonblocking(true)
+            .unwrap_or_else(|e| fail(&format!("can't poll `{path}`: {e}")));
+        eprintln!("pei-serve: listening on {path}");
+        let daemon = Arc::clone(&daemon);
+        loops.push(std::thread::spawn(move || accept_loop(&daemon, listener)));
+    }
+    for l in loops {
+        let _ = l.join();
+    }
+    if let Some(path) = &socket {
+        let _ = std::fs::remove_file(path);
+    }
 }
 
 fn parse<T: std::str::FromStr>(s: &str, name: &str) -> T {

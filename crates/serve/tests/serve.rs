@@ -6,9 +6,9 @@
 
 use pei_bench::runner::ForkPolicy;
 use pei_bench::service::resolve_recipe;
-use pei_serve::{Daemon, ServeConfig};
+use pei_serve::{Daemon, ServeConfig, PANIC_WORKER_FAULT};
 use pei_trace::Trace;
-use pei_types::wire::{Recipe, Request, Response};
+use pei_types::wire::{Priority, Recipe, Request, Response};
 use std::io::{BufReader, Read, Write};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -96,6 +96,20 @@ fn submit(recipe: Recipe) -> (u64, Request) {
         Request::Submit {
             recipe,
             trace: None,
+            tenant: None,
+            priority: Priority::Normal,
+        },
+    )
+}
+
+fn submit_as(recipe: Recipe, tenant: &str, priority: Priority) -> (u64, Request) {
+    (
+        0,
+        Request::Submit {
+            recipe,
+            trace: None,
+            tenant: Some(tenant.to_owned()),
+            priority,
         },
     )
 }
@@ -126,6 +140,7 @@ fn forked_config(workers: usize) -> ServeConfig {
         workers,
         slice: 5_000,
         fork: ForkPolicy::always(),
+        cache_bytes: None,
     }
 }
 
@@ -332,10 +347,14 @@ fn cancel_stops_queued_and_running_jobs_and_spares_the_cache() {
     send(Request::Submit {
         recipe: long.clone(),
         trace: None,
+        tenant: None,
+        priority: Priority::Normal,
     });
     send(Request::Submit {
         recipe: long,
         trace: None,
+        tenant: None,
+        priority: Priority::Normal,
     });
     send(Request::Cancel { job: 2 });
     wait_for(
@@ -350,6 +369,8 @@ fn cancel_stops_queued_and_running_jobs_and_spares_the_cache() {
     send(Request::Submit {
         recipe: quick_recipe("la"),
         trace: None,
+        tenant: None,
+        priority: Priority::Normal,
     });
     send(Request::Shutdown);
     session.join().unwrap();
@@ -449,6 +470,8 @@ fn bad_recipes_are_rejected_as_structured_errors() {
                 Request::Submit {
                     recipe: traced_checked,
                     trace: Some("/tmp/should-not-exist.petr".into()),
+                    tenant: None,
+                    priority: Priority::Normal,
                 },
             ),
             (0, Request::Shutdown),
@@ -492,6 +515,8 @@ fn traced_submissions_write_a_replayable_capture() {
                 Request::Submit {
                     recipe: quick_recipe("la"),
                     trace: Some(path.to_string_lossy().into_owned()),
+                    tenant: None,
+                    priority: Priority::Normal,
                 },
             ),
             (0, Request::Shutdown),
@@ -511,4 +536,253 @@ fn traced_submissions_write_a_replayable_capture() {
         "the capture's stats metadata equals the wire stats"
     );
     let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn a_panicking_worker_reports_the_job_failed_and_the_daemon_drains() {
+    // Job 1 carries the test-only panic fault; job 2 is healthy and
+    // shares the single worker. The panic must surface as a terminal
+    // `worker-panic` error frame, the worker must survive to run job 2,
+    // and shutdown must drain to `bye` instead of hanging on the
+    // accounting the panicking job abandoned.
+    let mut bomb = quick_recipe("la");
+    bomb.fault_kinds = vec![PANIC_WORKER_FAULT.to_owned()];
+    let reference = resolve_recipe(&quick_recipe("la")).unwrap().run();
+
+    let daemon = Daemon::start(forked_config(1));
+    let responses = run_session(
+        &daemon,
+        vec![
+            submit(bomb),
+            submit(quick_recipe("la")),
+            (0, Request::Shutdown),
+        ],
+    );
+
+    match terminal_for(&responses, 1) {
+        Response::Error { kind, message, .. } => {
+            assert_eq!(kind, "worker-panic");
+            assert!(message.contains("job 1"), "{message}");
+        }
+        other => panic!("the panicking job should fail, got {other:?}"),
+    }
+    match terminal_for(&responses, 2) {
+        Response::Result(r) => {
+            assert_eq!(r.stats, reference.stats.to_string(), "the worker survived");
+        }
+        other => panic!("the healthy job should complete, got {other:?}"),
+    }
+    assert!(
+        matches!(responses.last(), Some(Response::Bye)),
+        "shutdown drained to bye after the panic: {responses:?}"
+    );
+
+    let stats = daemon.stats();
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.running, 0, "the panicking job's claim was released");
+    assert_eq!(stats.queue_depth, 0);
+    assert!(
+        stats.workers.iter().all(|w| !w.busy),
+        "no slot stays marked busy after an unwind: {:?}",
+        stats.workers
+    );
+}
+
+#[test]
+fn eviction_under_a_starved_byte_budget_is_byte_identical_to_cold() {
+    // A one-byte budget evicts every warm snapshot the moment it is
+    // inserted, so each submission takes the cold path end to end. The
+    // results must stay byte-identical to the one-shot run — eviction
+    // is a memory policy, never a semantic one.
+    let reference = resolve_recipe(&quick_recipe("la")).unwrap().run();
+    let daemon = Daemon::start(ServeConfig {
+        workers: 1,
+        slice: 5_000,
+        fork: ForkPolicy::always(),
+        cache_bytes: Some(1),
+    });
+    let responses = run_session(
+        &daemon,
+        vec![
+            submit(quick_recipe("la")),
+            submit(quick_recipe("la")),
+            (0, Request::Shutdown),
+        ],
+    );
+    for job in [1, 2] {
+        match terminal_for(&responses, job) {
+            Response::Result(r) => {
+                assert_eq!(r.stats, reference.stats.to_string(), "job {job}");
+            }
+            other => panic!("job {job} should complete, got {other:?}"),
+        }
+    }
+    let fc = daemon.stats().fork_cache;
+    assert_eq!(fc.hits, 0, "nothing stays resident to hit: {fc:?}");
+    assert_eq!(fc.misses, 2, "both runs re-warmed from cold: {fc:?}");
+    assert_eq!(fc.evictions, 2, "each insert was evicted at once: {fc:?}");
+    assert_eq!(fc.entries, 0);
+    assert_eq!(fc.capacity_bytes, 1);
+    assert!(fc.evicted_bytes > 0);
+}
+
+#[test]
+fn tenants_drain_round_robin_within_bands_and_high_priority_preempts_the_queue() {
+    // One worker; a filler job pins it while the backlog builds, so the
+    // drain order is decided purely by the scheduler: tenant a queues
+    // four jobs, then tenant b queues four, then tenant c queues one at
+    // high priority. The high job runs first, and a/b alternate under
+    // deficit round-robin even though a's whole burst arrived earlier.
+    let mut filler = quick_recipe("la");
+    filler.size = "medium".to_owned();
+    filler.budget = Some(200_000);
+
+    let daemon = Arc::new(Daemon::start(forked_config(1)));
+    let (tx, rx) = std::sync::mpsc::channel();
+    let out = SharedBuf::default();
+    let session = {
+        let daemon = Arc::clone(&daemon);
+        let out = out.clone();
+        std::thread::spawn(move || {
+            daemon.serve(
+                BufReader::new(ChannelReader {
+                    rx,
+                    buf: Vec::new(),
+                    pos: 0,
+                }),
+                out,
+            );
+        })
+    };
+    let send = |req: Request| tx.send(req).expect("session is reading");
+
+    send(submit_as(filler, "a", Priority::Normal).1);
+    wait_for(
+        &out,
+        "the filler's first heartbeat",
+        |r| matches!(r, Response::Progress { job: 1, cycle } if *cycle > 0),
+    );
+    // The worker is pinned mid-run; everything below queues up.
+    for _ in 0..4 {
+        send(submit_as(quick_recipe("la"), "a", Priority::Normal).1);
+    }
+    for _ in 0..4 {
+        send(submit_as(quick_recipe("la"), "b", Priority::Normal).1);
+    }
+    send(submit_as(quick_recipe("la"), "c", Priority::High).1);
+    send(Request::Stats);
+    send(Request::Shutdown);
+    session.join().unwrap();
+
+    let bytes = out.0.lock().unwrap().clone();
+    let responses: Vec<Response> = String::from_utf8(bytes)
+        .unwrap()
+        .lines()
+        .map(|l| Response::decode(l).unwrap())
+        .collect();
+    let completion_order: Vec<u64> = responses
+        .iter()
+        .filter_map(|r| match r {
+            Response::Result(rf) => Some(rf.job),
+            _ => None,
+        })
+        .collect();
+    // Jobs 2–5 are a's, 6–9 are b's, 10 is c's high-priority job.
+    assert_eq!(
+        completion_order,
+        vec![1, 10, 2, 6, 3, 7, 4, 8, 5, 9],
+        "high drains first, then a/b alternate under DRR"
+    );
+
+    let stats = responses
+        .iter()
+        .find_map(|r| match r {
+            Response::Stats(s) => Some(s.clone()),
+            _ => None,
+        })
+        .expect("the stats request was answered");
+    let tenant = |name: &str| {
+        stats
+            .tenants
+            .iter()
+            .find(|t| t.tenant == name)
+            .unwrap_or_else(|| panic!("tenant {name} missing: {:?}", stats.tenants))
+    };
+    assert_eq!(tenant("a").submitted, 5, "filler plus the burst of four");
+    assert_eq!(tenant("b").submitted, 4);
+    assert_eq!(tenant("c").submitted, 1);
+    let names: Vec<&str> = stats.tenants.iter().map(|t| t.tenant.as_str()).collect();
+    assert_eq!(names, vec!["a", "b", "c"], "tenants are reported sorted");
+
+    // After the session drains, every submission completed and the
+    // queued bursts show a non-zero measured wait behind the filler.
+    let stats = daemon.stats();
+    for name in ["a", "b", "c"] {
+        let t = stats
+            .tenants
+            .iter()
+            .find(|t| t.tenant == name)
+            .unwrap_or_else(|| panic!("tenant {name} missing after drain"));
+        assert_eq!(t.completed, t.submitted, "{name} drained");
+        if name != "a" {
+            assert!(t.wait_p50_ms > 0, "{name} queued behind the filler: {t:?}");
+        }
+        assert!(t.wait_p95_ms >= t.wait_p50_ms, "{name}: {t:?}");
+    }
+}
+
+#[test]
+fn a_tcp_session_is_byte_identical_to_an_in_process_session() {
+    // Two fresh daemons with the same config run the same script: one
+    // over an in-process reader/writer pair, one over a real TCP
+    // socket. Both start their job counters at 1, so every frame —
+    // acks, results, bye — must match byte for byte; the transport is
+    // invisible to the wire contract.
+    let script = || {
+        vec![
+            submit(quick_recipe("la")),
+            submit(quick_recipe("pim")),
+            (0, Request::Shutdown),
+        ]
+    };
+    let reference_daemon = Daemon::start(forked_config(1));
+    let reference_out = SharedBuf::default();
+    reference_daemon.serve(
+        BufReader::new(Paced::new(script())),
+        reference_out.clone(),
+    );
+    let reference_bytes = reference_out.0.lock().unwrap().clone();
+
+    let daemon = Arc::new(Daemon::start(forked_config(1)));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let server = {
+        let daemon = Arc::clone(&daemon);
+        std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("one client connects");
+            let reading = stream.try_clone().expect("split the stream");
+            daemon.serve(BufReader::new(reading), stream);
+        })
+    };
+
+    let mut client = std::net::TcpStream::connect(addr).expect("connect to the daemon");
+    for (_, req) in script() {
+        client
+            .write_all(format!("{}\n", req.encode()).as_bytes())
+            .expect("send a frame");
+    }
+    client.flush().unwrap();
+    let mut tcp_bytes = Vec::new();
+    client
+        .read_to_end(&mut tcp_bytes)
+        .expect("read the session to EOF");
+    server.join().unwrap();
+
+    assert_eq!(
+        String::from_utf8_lossy(&tcp_bytes),
+        String::from_utf8_lossy(&reference_bytes),
+        "the TCP transport changes no frame"
+    );
+    assert_eq!(tcp_bytes, reference_bytes);
 }

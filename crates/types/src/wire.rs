@@ -21,6 +21,8 @@
 //! let req = Request::Submit {
 //!     recipe: Recipe::new("atf", "small", "la"),
 //!     trace: None,
+//!     tenant: None,
+//!     priority: Default::default(),
 //! };
 //! let line = req.encode();
 //! assert_eq!(Request::decode(&line).unwrap(), req);
@@ -148,6 +150,41 @@ impl Recipe {
     }
 }
 
+/// A submission's scheduling band. Bands are strict: the daemon never
+/// starts a job while a higher band has one queued; *within* a band,
+/// tenants share by deficit round-robin.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Drained before everything else (interactive probes).
+    High,
+    /// The default band.
+    #[default]
+    Normal,
+    /// Background bulk work; runs only when the other bands are empty.
+    Low,
+}
+
+impl Priority {
+    /// The wire spelling (`high` | `normal` | `low`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+
+    /// Inverse of [`name`](Priority::name).
+    pub fn parse(s: &str) -> Option<Priority> {
+        match s {
+            "high" => Some(Priority::High),
+            "normal" => Some(Priority::Normal),
+            "low" => Some(Priority::Low),
+            _ => None,
+        }
+    }
+}
+
 /// A client-to-daemon frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -160,6 +197,11 @@ pub enum Request {
         /// If set, also capture the run as a `.petr` event trace at
         /// this (daemon-side) path, reported back in the result frame.
         trace: Option<String>,
+        /// Which tenant's fair-share queue this job joins (omitted →
+        /// the `default` tenant).
+        tenant: Option<String>,
+        /// Scheduling band (omitted → `normal`).
+        priority: Priority,
     },
     /// Cancel a queued or in-flight job by the id `ack` returned.
     Cancel {
@@ -177,13 +219,24 @@ impl Request {
     /// Serializes this frame as one JSON line (no trailing newline).
     pub fn encode(&self) -> String {
         let v = match self {
-            Request::Submit { recipe, trace } => {
+            Request::Submit {
+                recipe,
+                trace,
+                tenant,
+                priority,
+            } => {
                 let mut m = vec![
                     ("type".to_owned(), Json::from("submit")),
                     ("recipe".to_owned(), recipe.to_json()),
                 ];
                 if let Some(t) = trace {
                     m.push(("trace".to_owned(), Json::from(t.as_str())));
+                }
+                if let Some(t) = tenant {
+                    m.push(("tenant".to_owned(), Json::from(t.as_str())));
+                }
+                if *priority != Priority::default() {
+                    m.push(("priority".to_owned(), Json::from(priority.name())));
                 }
                 Json::Obj(m)
             }
@@ -209,6 +262,13 @@ impl Request {
                 Ok(Request::Submit {
                     recipe: Recipe::from_json(recipe)?,
                     trace: opt_str(&v, "trace")?,
+                    tenant: opt_str(&v, "tenant")?,
+                    priority: match opt_str(&v, "priority")? {
+                        None => Priority::default(),
+                        Some(p) => Priority::parse(&p).ok_or_else(|| {
+                            bad(format!("unknown priority `{p}` (high|normal|low)"))
+                        })?,
+                    },
                 })
             }
             "cancel" => Ok(Request::Cancel {
@@ -282,6 +342,31 @@ pub struct ForkCacheStat {
     /// Jobs ineligible for forking (fault plans, sharded engine,
     /// traced runs).
     pub ineligible: u64,
+    /// Warm snapshots evicted to stay inside the byte budget. An
+    /// evicted key simply misses again later — eviction never changes
+    /// results.
+    pub evictions: u64,
+    /// Total bytes released by those evictions.
+    pub evicted_bytes: u64,
+    /// The configured byte budget (0 = unbounded).
+    pub capacity_bytes: u64,
+}
+
+/// Per-tenant scheduler statistics (one entry per tenant ever seen,
+/// sorted by name in the `stats` frame).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantStat {
+    /// The tenant's name (`default` for submissions that named none).
+    pub tenant: String,
+    /// Jobs this tenant has submitted (accepted, i.e. acked).
+    pub submitted: u64,
+    /// Jobs that reached a terminal frame (result, error, cancelled).
+    pub completed: u64,
+    /// Median queue wait of recent jobs, in milliseconds (submission
+    /// ack → a worker claiming the job).
+    pub wait_p50_ms: u64,
+    /// 95th-percentile queue wait of recent jobs, in milliseconds.
+    pub wait_p95_ms: u64,
 }
 
 /// A `stats` response: queue and worker state, job totals, and the two
@@ -304,6 +389,8 @@ pub struct StatsFrame {
     pub uptime_ms: u64,
     /// One entry per worker.
     pub workers: Vec<WorkerStat>,
+    /// One entry per tenant, sorted by name.
+    pub tenants: Vec<TenantStat>,
     /// Entries resident in the process-wide `Arc<Graph>` input cache.
     pub graph_cache_entries: u64,
     /// Warm-fork snapshot cache counters.
@@ -445,6 +532,23 @@ impl Response {
                     ),
                 ),
                 (
+                    "tenants".to_owned(),
+                    Json::Arr(
+                        s.tenants
+                            .iter()
+                            .map(|t| {
+                                Json::Obj(vec![
+                                    ("tenant".to_owned(), Json::from(t.tenant.as_str())),
+                                    ("submitted".to_owned(), Json::from(t.submitted)),
+                                    ("completed".to_owned(), Json::from(t.completed)),
+                                    ("wait_p50_ms".to_owned(), Json::from(t.wait_p50_ms)),
+                                    ("wait_p95_ms".to_owned(), Json::from(t.wait_p95_ms)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
                     "graph_cache_entries".to_owned(),
                     Json::from(s.graph_cache_entries),
                 ),
@@ -457,6 +561,15 @@ impl Response {
                         ("misses".to_owned(), Json::from(s.fork_cache.misses)),
                         ("bypasses".to_owned(), Json::from(s.fork_cache.bypasses)),
                         ("ineligible".to_owned(), Json::from(s.fork_cache.ineligible)),
+                        ("evictions".to_owned(), Json::from(s.fork_cache.evictions)),
+                        (
+                            "evicted_bytes".to_owned(),
+                            Json::from(s.fork_cache.evicted_bytes),
+                        ),
+                        (
+                            "capacity_bytes".to_owned(),
+                            Json::from(s.fork_cache.capacity_bytes),
+                        ),
                     ]),
                 ),
             ]),
@@ -535,6 +648,22 @@ impl Response {
                         .collect::<Result<_, WireError>>()?,
                     Some(_) => return Err(bad("`workers` must be an array")),
                 };
+                let tenants = match v.get("tenants") {
+                    None | Some(Json::Null) => Vec::new(),
+                    Some(Json::Arr(items)) => items
+                        .iter()
+                        .map(|t| {
+                            Ok(TenantStat {
+                                tenant: req_str(t, "tenant")?,
+                                submitted: req_u64(t, "submitted")?,
+                                completed: req_u64(t, "completed")?,
+                                wait_p50_ms: req_u64(t, "wait_p50_ms")?,
+                                wait_p95_ms: req_u64(t, "wait_p95_ms")?,
+                            })
+                        })
+                        .collect::<Result<_, WireError>>()?,
+                    Some(_) => return Err(bad("`tenants` must be an array")),
+                };
                 let fc = v.get("fork_cache").cloned().unwrap_or(Json::Obj(vec![]));
                 Ok(Response::Stats(StatsFrame {
                     queue_depth: req_u64(&v, "queue_depth")?,
@@ -545,6 +674,7 @@ impl Response {
                     rejected: req_u64(&v, "rejected")?,
                     uptime_ms: req_u64(&v, "uptime_ms")?,
                     workers,
+                    tenants,
                     graph_cache_entries: req_u64(&v, "graph_cache_entries")?,
                     fork_cache: ForkCacheStat {
                         entries: opt_u64(&fc, "entries")?.unwrap_or(0),
@@ -553,6 +683,9 @@ impl Response {
                         misses: opt_u64(&fc, "misses")?.unwrap_or(0),
                         bypasses: opt_u64(&fc, "bypasses")?.unwrap_or(0),
                         ineligible: opt_u64(&fc, "ineligible")?.unwrap_or(0),
+                        evictions: opt_u64(&fc, "evictions")?.unwrap_or(0),
+                        evicted_bytes: opt_u64(&fc, "evicted_bytes")?.unwrap_or(0),
+                        capacity_bytes: opt_u64(&fc, "capacity_bytes")?.unwrap_or(0),
                     },
                 }))
             }
@@ -683,10 +816,20 @@ mod tests {
             Request::Submit {
                 recipe: full_recipe(),
                 trace: Some("/tmp/x.petr".into()),
+                tenant: Some("team-a".into()),
+                priority: Priority::High,
             },
             Request::Submit {
                 recipe: Recipe::new("atf", "small", "host"),
                 trace: None,
+                tenant: None,
+                priority: Priority::Normal,
+            },
+            Request::Submit {
+                recipe: Recipe::new("pr", "medium", "la"),
+                trace: None,
+                tenant: Some("bulk".into()),
+                priority: Priority::Low,
             },
             Request::Cancel { job: 17 },
             Request::Stats,
@@ -749,6 +892,22 @@ mod tests {
                         busy_ms: 3500,
                     },
                 ],
+                tenants: vec![
+                    TenantStat {
+                        tenant: "default".into(),
+                        submitted: 9,
+                        completed: 8,
+                        wait_p50_ms: 3,
+                        wait_p95_ms: 40,
+                    },
+                    TenantStat {
+                        tenant: "team-a".into(),
+                        submitted: 4,
+                        completed: 4,
+                        wait_p50_ms: 0,
+                        wait_p95_ms: 2,
+                    },
+                ],
                 graph_cache_entries: 4,
                 fork_cache: ForkCacheStat {
                     entries: 2,
@@ -757,6 +916,9 @@ mod tests {
                     misses: 2,
                     bypasses: 1,
                     ineligible: 1,
+                    evictions: 3,
+                    evicted_bytes: 3 << 19,
+                    capacity_bytes: 256 << 20,
                 },
             }),
             Response::Bye,
@@ -796,13 +958,45 @@ mod tests {
     fn recipe_defaults_fill_in() {
         let r = Request::decode(r#"{"type":"submit","recipe":{"workload":"pr"}}"#).unwrap();
         match r {
-            Request::Submit { recipe, trace } => {
+            Request::Submit {
+                recipe,
+                trace,
+                tenant,
+                priority,
+            } => {
                 assert_eq!(recipe.size, "medium");
                 assert_eq!(recipe.policy, "la");
                 assert_eq!(recipe.scale, "quick");
                 assert_eq!(recipe.seed, 0x5eed);
                 assert!(!recipe.check && recipe.budget.is_none());
                 assert!(trace.is_none());
+                assert!(tenant.is_none());
+                assert_eq!(priority, Priority::Normal);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_priorities_are_rejected_and_known_ones_parse() {
+        let err = Request::decode(
+            r#"{"type":"submit","recipe":{"workload":"pr"},"priority":"urgent"}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("priority"), "{err}");
+        for p in [Priority::High, Priority::Normal, Priority::Low] {
+            assert_eq!(Priority::parse(p.name()), Some(p));
+        }
+        let r = Request::decode(
+            r#"{"type":"submit","recipe":{"workload":"pr"},"tenant":"a","priority":"low"}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Submit {
+                tenant, priority, ..
+            } => {
+                assert_eq!(tenant.as_deref(), Some("a"));
+                assert_eq!(priority, Priority::Low);
             }
             other => panic!("wrong frame {other:?}"),
         }

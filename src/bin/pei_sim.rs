@@ -29,6 +29,8 @@ struct Args {
     save_to: String,
     resume: Option<String>,
     submit: Option<String>,
+    tenant: Option<String>,
+    priority: Option<String>,
 }
 
 const USAGE: &str = "\
@@ -58,9 +60,12 @@ OPTIONS:
                   workload is rebuilt from the snapshot's own metadata,
                   so no other arguments are needed
       --submit S  don't simulate locally: submit the run to the pei-serve
-                  daemon listening on Unix socket S and print its result
+                  daemon at S — a Unix socket path, or host:port for a
+                  daemon listening with --tcp — and print its result
                   (incompatible with --ideal-host, --vm, --record,
                   --replay, --save-at, and --resume)
+      --tenant T  tag the --submit under tenant T's fair-share queue
+      --priority P  schedule the --submit in band P (high|normal|low)
   -h, --help      this text
 ";
 
@@ -81,6 +86,8 @@ fn parse_args() -> Result<Args, String> {
         save_to: String::from("pei.snap"),
         resume: None,
         submit: None,
+        tenant: None,
+        priority: None,
     };
     let mut saw_workload = false;
     let mut it = std::env::args().skip(1);
@@ -134,6 +141,8 @@ fn parse_args() -> Result<Args, String> {
             "--save-to" => args.save_to = value("--save-to")?,
             "--resume" => args.resume = Some(value("--resume")?),
             "--submit" => args.submit = Some(value("--submit")?),
+            "--tenant" => args.tenant = Some(value("--tenant")?),
+            "--priority" => args.priority = Some(value("--priority")?),
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -161,15 +170,26 @@ fn parse_args() -> Result<Args, String> {
                 .into(),
         );
     }
+    if args.submit.is_none() && (args.tenant.is_some() || args.priority.is_some()) {
+        return Err("--tenant and --priority only make sense with --submit".into());
+    }
+    if let Some(p) = &args.priority {
+        if pei_types::wire::Priority::parse(p).is_none() {
+            return Err(format!("unknown priority `{p}` (high|normal|low)"));
+        }
+    }
     Ok(args)
 }
 
 /// `--submit`: run the recipe on a `pei-serve` daemon instead of
 /// simulating locally, printing the result in the exact format a local
 /// run prints (the byte-identity contract makes them interchangeable).
+/// The address is a Unix socket path, or `host:port` for a daemon
+/// listening with `--tcp` (anything containing a `:` and no `/` is
+/// treated as TCP).
 fn submit_to_daemon(socket: &str, args: &Args) -> ! {
-    use pei_types::wire::{Recipe, Request, Response};
-    use std::io::{BufRead, BufReader, Write};
+    use pei_types::wire::{Priority, Recipe, Request, Response};
+    use std::io::{BufRead, BufReader, Read, Write};
 
     let mut recipe = Recipe::new(
         &format!("{}", args.workload).to_lowercase(),
@@ -185,23 +205,43 @@ fn submit_to_daemon(socket: &str, args: &Args) -> ! {
     recipe.seed = args.seed;
     recipe.budget = Some(args.budget);
 
-    let stream = std::os::unix::net::UnixStream::connect(socket).unwrap_or_else(|e| {
-        eprintln!("error: cannot reach pei-serve at {socket}: {e}");
-        std::process::exit(1);
-    });
-    let mut writer = stream.try_clone().expect("socket handles clone");
+    // `host:port` → TCP, anything else → Unix socket path.
+    let tcp = socket.contains(':') && !socket.contains('/');
+    let (reader, mut writer): (Box<dyn Read>, Box<dyn Write>) = if tcp {
+        let stream = std::net::TcpStream::connect(socket).unwrap_or_else(|e| {
+            eprintln!("error: cannot reach pei-serve at tcp {socket}: {e}");
+            std::process::exit(1);
+        });
+        stream.set_nodelay(true).ok();
+        let w = stream.try_clone().expect("socket handles clone");
+        (Box::new(stream), Box::new(w))
+    } else {
+        let stream = std::os::unix::net::UnixStream::connect(socket).unwrap_or_else(|e| {
+            eprintln!("error: cannot reach pei-serve at {socket}: {e}");
+            std::process::exit(1);
+        });
+        let w = stream.try_clone().expect("socket handles clone");
+        (Box::new(stream), Box::new(w))
+    };
     writeln!(
         writer,
         "{}",
         Request::Submit {
             recipe,
-            trace: None
+            trace: None,
+            tenant: args.tenant.clone(),
+            priority: args
+                .priority
+                .as_deref()
+                .and_then(Priority::parse)
+                .unwrap_or_default(),
         }
         .encode()
     )
     .expect("submit frame written");
+    writer.flush().expect("submit frame flushed");
     let start = std::time::Instant::now();
-    for line in BufReader::new(stream).lines() {
+    for line in BufReader::new(reader).lines() {
         let line = line.unwrap_or_else(|e| {
             eprintln!("error: connection to {socket} broke: {e}");
             std::process::exit(1);
@@ -347,6 +387,8 @@ fn args_from_meta(snap: &Snapshot, resume_path: &str) -> Result<Args, String> {
         save_to: String::new(),
         resume: None,
         submit: None,
+        tenant: None,
+        priority: None,
     })
 }
 
