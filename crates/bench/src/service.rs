@@ -33,6 +33,17 @@ use pei_types::wire::Recipe;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Why [`ForkCache::run_bounded`] abandoned a run before completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stopped {
+    /// The caller's cancel flag was observed set.
+    Cancelled,
+    /// The wall-clock deadline passed. Like cancellation, the stop
+    /// lands on a slice boundary and any cached snapshot stays valid.
+    DeadlineExceeded,
+}
 
 /// Wire name of a fault kind (`wedge-vault`, `leak-mshr`, …).
 pub fn fault_kind_name(k: FaultKind) -> &'static str {
@@ -442,6 +453,53 @@ impl ForkCache {
         }
     }
 
+    /// [`run_cancellable`](ForkCache::run_cancellable), with an
+    /// additional wall-clock budget: past `deadline`, the run is
+    /// abandoned at the next slice boundary exactly as a cancellation
+    /// would be — the job's machine is dropped and resident snapshots
+    /// stay valid. When both the flag and the deadline trip in the same
+    /// slice window, cancellation wins (it is the caller's explicit
+    /// request).
+    ///
+    /// The same caveats as cancellation apply: sharded specs and
+    /// warmups check only before they start, so the deadline is
+    /// enforced at slice granularity, not exactly.
+    pub fn run_bounded(
+        &self,
+        spec: &RunSpec,
+        slice: u64,
+        cancel: &AtomicBool,
+        deadline: Option<Instant>,
+        mut progress: impl FnMut(u64),
+    ) -> Result<RunResult, Stopped> {
+        let expired = |d: Option<Instant>| d.is_some_and(|d| Instant::now() >= d);
+        if cancel.load(Ordering::Relaxed) {
+            return Err(Stopped::Cancelled);
+        }
+        if expired(deadline) {
+            return Err(Stopped::DeadlineExceeded);
+        }
+        // The engine only understands one stop flag, so compose both
+        // conditions into `halt` from inside the slice-boundary hook and
+        // remember which tripped first.
+        let halt = AtomicBool::new(false);
+        let deadline_hit = std::cell::Cell::new(false);
+        let out = self.run_cancellable(spec, slice, &halt, |cycle| {
+            progress(cycle);
+            if cancel.load(Ordering::Relaxed) {
+                halt.store(true, Ordering::Relaxed);
+            } else if expired(deadline) {
+                deadline_hit.set(true);
+                halt.store(true, Ordering::Relaxed);
+            }
+        });
+        match out {
+            Some(result) => Ok(result),
+            None if deadline_hit.get() => Err(Stopped::DeadlineExceeded),
+            None => Err(Stopped::Cancelled),
+        }
+    }
+
     /// Records a job that ran outside the cache entirely — traced runs
     /// need a tracer attached before the machine starts, so a daemon
     /// executes them cold and reports them here to keep the counters a
@@ -623,6 +681,40 @@ mod tests {
         let after = cache.run(&la);
         assert_eq!(after.stats, reference.stats);
         assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn deadlines_stop_runs_like_cancellation_and_spare_the_cache() {
+        let la = resolve_recipe(&quick_recipe("la")).unwrap();
+        let cache = ForkCache::new(ForkPolicy::always());
+        let reference = cache.run(&la); // warms + caches
+        let never = AtomicBool::new(false);
+
+        // An already-expired deadline stops the job before it builds a
+        // machine — and before the cache counts it.
+        let before = cache.stats().fork;
+        let out = cache.run_bounded(&la, 200, &never, Some(Instant::now()), |_| ());
+        assert_eq!(out.unwrap_err(), Stopped::DeadlineExceeded);
+        assert_eq!(cache.stats().fork, before, "expired jobs never run");
+
+        // A deadline tripping mid-run stops at a slice boundary; the
+        // resident snapshot still reproduces the reference bytes. (50µs
+        // lapses before the first 50-cycle slice retires, but only the
+        // slice-boundary hook notices — the pre-check already passed.)
+        let soon = Instant::now() + std::time::Duration::from_micros(50);
+        let mut ticks = 0u64;
+        let out = cache.run_bounded(&la, 50, &never, Some(soon), |_| ticks += 1);
+        assert_eq!(out.unwrap_err(), Stopped::DeadlineExceeded);
+        assert!(ticks > 0, "the run got at least one slice in");
+        assert_eq!(cache.run(&la).stats, reference.stats);
+
+        // Cancellation wins over a lapsed deadline, and no deadline at
+        // all reproduces run() byte-for-byte.
+        let cancelled = AtomicBool::new(true);
+        let out = cache.run_bounded(&la, 200, &cancelled, Some(Instant::now()), |_| ());
+        assert_eq!(out.unwrap_err(), Stopped::Cancelled);
+        let out = cache.run_bounded(&la, 200, &never, None, |_| ());
+        assert_eq!(out.unwrap().stats, reference.stats);
     }
 
     #[test]

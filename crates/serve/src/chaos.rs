@@ -1,0 +1,376 @@
+//! Seeded chaos plans: deterministic byte scripts for misbehaving
+//! clients.
+//!
+//! The overload tentpole is only trustworthy if it survives *hostile*
+//! traffic, and hostile traffic is only testable if it is reproducible.
+//! A [`ChaosPlan`] expands a single seed into N client scripts — every
+//! byte chunk, torn-write boundary, pause, and deadline is a pure
+//! function of the seed (xoshiro256**, the workspace-standard stream) —
+//! so a failing run replays exactly from its seed. The harness in
+//! `tests/chaos.rs` executes the same plan over an in-process pipe
+//! (the stdio framing), a Unix socket, and TCP, and asserts the
+//! transport-independent invariants: no leaked worker slot, the
+//! accounting partition `submitted == completed + failed + cancelled +
+//! deadline_exceeded + disconnect_cancelled`, a drain that ends in
+//! `bye`, and a concurrent well-behaved client whose results stay
+//! byte-identical to the one-shot binary.
+//!
+//! Five behaviors cover the failure modes the daemon must shed:
+//!
+//! | behavior | what it abuses | what must hold |
+//! |---|---|---|
+//! | [`MidFrameDisconnect`] | slams the socket inside a frame | torn tail → one `bad-frame` reject; acked job reaped |
+//! | [`TornWrites`] | splits frames at arbitrary byte boundaries | reassembled frames behave exactly like whole ones |
+//! | [`SlowReader`] | drains one byte at a time, then slams | heartbeats shed, terminals kept, job reaped on slam |
+//! | [`SubmitFlood`] | bursts past the admission bound | overflow rejected `queue-full`, accepted jobs all terminal |
+//! | [`DeadlineBuster`] | submits long jobs with tiny budgets | every one ends `deadline-exceeded`, caches untouched |
+//!
+//! [`MidFrameDisconnect`]: ChaosBehavior::MidFrameDisconnect
+//! [`TornWrites`]: ChaosBehavior::TornWrites
+//! [`SlowReader`]: ChaosBehavior::SlowReader
+//! [`SubmitFlood`]: ChaosBehavior::SubmitFlood
+//! [`DeadlineBuster`]: ChaosBehavior::DeadlineBuster
+
+use pei_engine::rng::SimRng;
+use pei_types::wire::{Priority, Recipe, Request};
+
+/// How one chaos client misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosBehavior {
+    /// Submits a long job, then disconnects in the middle of a second
+    /// submit frame without reading anything.
+    MidFrameDisconnect,
+    /// Submits well-formed quick jobs, but delivers the bytes in
+    /// arbitrarily torn chunks with pauses between them.
+    TornWrites,
+    /// Submits a long job and drains responses one byte at a time,
+    /// then disconnects with the job still in flight.
+    SlowReader,
+    /// Bursts more quick submissions than the admission bound allows.
+    SubmitFlood,
+    /// Submits long jobs whose wall-clock deadlines cannot be met.
+    DeadlineBuster,
+}
+
+/// All five behaviors, in the order [`ChaosPlan::generate`] cycles
+/// through before shuffling — a plan with at least this many clients
+/// exercises every behavior.
+pub const ALL_BEHAVIORS: [ChaosBehavior; 5] = [
+    ChaosBehavior::MidFrameDisconnect,
+    ChaosBehavior::TornWrites,
+    ChaosBehavior::SlowReader,
+    ChaosBehavior::SubmitFlood,
+    ChaosBehavior::DeadlineBuster,
+];
+
+/// The workload knobs a plan's scripts are rendered against — the
+/// harness picks these to match the daemon under test.
+#[derive(Debug, Clone)]
+pub struct ChaosKnobs {
+    /// The daemon's admission bound; floods are sized well past it.
+    pub max_queue: u64,
+    /// Deadline (milliseconds) deadline-buster jobs carry; must be far
+    /// below the long recipe's runtime.
+    pub deadline_ms: u64,
+    /// A recipe that completes quickly (flood and torn-write fodder).
+    pub quick: Recipe,
+    /// A recipe that runs long enough to still be in flight when its
+    /// client disconnects or its deadline lapses.
+    pub long: Recipe,
+}
+
+/// One write: wait `pause_ms`, then write `bytes` and flush.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteStep {
+    /// Milliseconds to sleep before this chunk.
+    pub pause_ms: u64,
+    /// The raw bytes (possibly a fraction of a frame, or several).
+    pub bytes: Vec<u8>,
+}
+
+/// How a chaos client treats the daemon's response stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadStyle {
+    /// Reads frames normally until every submission has resolved.
+    Drain,
+    /// Reads one byte at a time with `pause_ms` between bytes, for at
+    /// most `max_bytes` bytes, then stops reading.
+    ByteAtATime {
+        /// Milliseconds between single-byte reads.
+        pause_ms: u64,
+        /// Bytes to drain before giving up on the stream.
+        max_bytes: u64,
+    },
+    /// Never reads at all.
+    None,
+}
+
+/// A fully rendered client script: what to write, how to read, and the
+/// bookkeeping the harness needs to know what the daemon owes (or
+/// doesn't owe) this client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosScript {
+    /// Byte chunks to write, in order.
+    pub writes: Vec<WriteStep>,
+    /// Response-stream treatment.
+    pub read: ReadStyle,
+    /// Drop the connection when the writes (and any reading) are done,
+    /// without waiting for outstanding frames.
+    pub slam: bool,
+    /// Complete submit frames this script delivers; each resolves as
+    /// either ack + terminal or a job-less rejection.
+    pub submits: u64,
+    /// The script ends inside a frame: the daemon sees exactly one
+    /// trailing `bad-frame` rejection at EOF.
+    pub torn_tail: bool,
+}
+
+/// One misbehaving client: a behavior plus the private seed its script
+/// is rendered from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosClient {
+    /// Position in the plan (stable across transports; used for
+    /// labelling and tenant names).
+    pub index: usize,
+    /// What this client does wrong.
+    pub behavior: ChaosBehavior,
+    /// Seed for the script's own byte-level choices.
+    pub seed: u64,
+}
+
+/// A deterministic fleet of misbehaving clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// The seed everything derives from.
+    pub seed: u64,
+    /// The clients, in launch order.
+    pub clients: Vec<ChaosClient>,
+}
+
+impl ChaosPlan {
+    /// Expands `seed` into `n` clients: behaviors cycle through
+    /// [`ALL_BEHAVIORS`] (so `n >= 5` exercises all of them), launch
+    /// order is shuffled, and each client draws a private seed. Pure:
+    /// the same inputs always yield the same plan.
+    pub fn generate(seed: u64, n: usize) -> ChaosPlan {
+        let mut rng = SimRng::seed_from(seed ^ 0xc4a0_5c4a_05c4_a05c);
+        let mut behaviors: Vec<ChaosBehavior> = (0..n)
+            .map(|i| ALL_BEHAVIORS[i % ALL_BEHAVIORS.len()])
+            .collect();
+        rng.shuffle(&mut behaviors);
+        let clients = behaviors
+            .into_iter()
+            .enumerate()
+            .map(|(index, behavior)| ChaosClient {
+                index,
+                behavior,
+                seed: rng.next_u64(),
+            })
+            .collect();
+        ChaosPlan { seed, clients }
+    }
+}
+
+impl ChaosClient {
+    /// Renders this client's byte script against `knobs`. Pure: the
+    /// same client and knobs always yield the same steps, byte for
+    /// byte.
+    pub fn script(&self, knobs: &ChaosKnobs) -> ChaosScript {
+        let mut rng = SimRng::seed_from(self.seed);
+        let tenant = format!("chaos-{}", self.index);
+        match self.behavior {
+            ChaosBehavior::MidFrameDisconnect => {
+                let whole = submit_line(&knobs.long, &tenant, None);
+                let torn = submit_line(&knobs.long, &tenant, None);
+                // Cut strictly inside the JSON (never at 0, never at or
+                // past the closing brace) so the tail can never parse.
+                let cut = 1 + rng.gen_range(torn.len() as u64 - 2) as usize;
+                ChaosScript {
+                    writes: vec![
+                        WriteStep {
+                            pause_ms: 0,
+                            bytes: whole.into_bytes(),
+                        },
+                        WriteStep {
+                            pause_ms: 1 + rng.gen_range(4),
+                            bytes: torn.into_bytes()[..cut].to_vec(),
+                        },
+                    ],
+                    read: ReadStyle::None,
+                    slam: true,
+                    submits: 1,
+                    torn_tail: true,
+                }
+            }
+            ChaosBehavior::TornWrites => {
+                let n = 2 + rng.gen_range(2);
+                let mut bytes = Vec::new();
+                for _ in 0..n {
+                    bytes.extend_from_slice(submit_line(&knobs.quick, &tenant, None).as_bytes());
+                }
+                // Split the whole byte stream at arbitrary boundaries —
+                // including mid-frame and mid-token — with short pauses.
+                let mut writes = Vec::new();
+                let mut rest = bytes.as_slice();
+                while !rest.is_empty() {
+                    let take = (1 + rng.gen_range(23)).min(rest.len() as u64) as usize;
+                    writes.push(WriteStep {
+                        pause_ms: rng.gen_range(3),
+                        bytes: rest[..take].to_vec(),
+                    });
+                    rest = &rest[take..];
+                }
+                ChaosScript {
+                    writes,
+                    read: ReadStyle::Drain,
+                    slam: false,
+                    submits: n,
+                    torn_tail: false,
+                }
+            }
+            ChaosBehavior::SlowReader => ChaosScript {
+                writes: vec![WriteStep {
+                    pause_ms: 0,
+                    bytes: submit_line(&knobs.long, &tenant, None).into_bytes(),
+                }],
+                read: ReadStyle::ByteAtATime {
+                    pause_ms: 1 + rng.gen_range(3),
+                    max_bytes: 16 + rng.gen_range(32),
+                },
+                slam: true,
+                submits: 1,
+                torn_tail: false,
+            },
+            ChaosBehavior::SubmitFlood => {
+                let n = knobs.max_queue * 2 + 8 + rng.gen_range(8);
+                let mut bytes = Vec::new();
+                for _ in 0..n {
+                    bytes.extend_from_slice(submit_line(&knobs.quick, &tenant, None).as_bytes());
+                }
+                ChaosScript {
+                    // One burst: the whole flood lands faster than the
+                    // workers can drain it.
+                    writes: vec![WriteStep { pause_ms: 0, bytes }],
+                    read: ReadStyle::Drain,
+                    slam: false,
+                    submits: n,
+                    torn_tail: false,
+                }
+            }
+            ChaosBehavior::DeadlineBuster => {
+                let n = 1 + rng.gen_range(2);
+                let writes = (0..n)
+                    .map(|_| WriteStep {
+                        pause_ms: rng.gen_range(3),
+                        bytes: submit_line(
+                            &knobs.long,
+                            &tenant,
+                            Some(knobs.deadline_ms + rng.gen_range(50)),
+                        )
+                        .into_bytes(),
+                    })
+                    .collect();
+                ChaosScript {
+                    writes,
+                    read: ReadStyle::Drain,
+                    slam: false,
+                    submits: n,
+                    torn_tail: false,
+                }
+            }
+        }
+    }
+}
+
+/// Encodes one submit frame (with trailing newline) for `recipe` under
+/// `tenant`.
+fn submit_line(recipe: &Recipe, tenant: &str, deadline_ms: Option<u64>) -> String {
+    let mut line = Request::Submit {
+        recipe: recipe.clone(),
+        trace: None,
+        tenant: Some(tenant.to_owned()),
+        priority: Priority::Normal,
+        deadline_ms,
+    }
+    .encode();
+    line.push('\n');
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn knobs() -> ChaosKnobs {
+        let mut quick = Recipe::new("atf", "small", "la");
+        quick.budget = Some(2_000);
+        let mut long = Recipe::new("pr", "medium", "la");
+        long.budget = Some(50_000_000);
+        ChaosKnobs {
+            max_queue: 12,
+            deadline_ms: 150,
+            quick,
+            long,
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_cover_every_behavior() {
+        let a = ChaosPlan::generate(42, 7);
+        let b = ChaosPlan::generate(42, 7);
+        assert_eq!(a, b, "same seed, same plan");
+        let k = knobs();
+        for (ca, cb) in a.clients.iter().zip(&b.clients) {
+            assert_eq!(ca.script(&k), cb.script(&k), "scripts render purely");
+        }
+        for behavior in ALL_BEHAVIORS {
+            assert!(
+                a.clients.iter().any(|c| c.behavior == behavior),
+                "{behavior:?} missing from a 7-client plan"
+            );
+        }
+        assert_ne!(
+            ChaosPlan::generate(43, 7),
+            a,
+            "different seeds differ somewhere"
+        );
+    }
+
+    #[test]
+    fn torn_tails_never_parse_and_whole_frames_always_do() {
+        let k = knobs();
+        let plan = ChaosPlan::generate(7, 10);
+        for client in &plan.clients {
+            let script = client.script(&k);
+            let stream: Vec<u8> = script
+                .writes
+                .iter()
+                .flat_map(|w| w.bytes.iter().copied())
+                .collect();
+            let text = String::from_utf8(stream).expect("scripts are valid UTF-8");
+            let mut submits = 0;
+            let mut torn = 0;
+            for line in text.split('\n').filter(|l| !l.is_empty()) {
+                match Request::decode(line) {
+                    Ok(Request::Submit { .. }) => submits += 1,
+                    Ok(other) => panic!("unexpected frame {other:?}"),
+                    Err(_) => torn += 1,
+                }
+            }
+            assert_eq!(submits, script.submits, "{:?}", client.behavior);
+            assert_eq!(torn, u64::from(script.torn_tail), "{:?}", client.behavior);
+        }
+    }
+
+    #[test]
+    fn floods_overrun_the_admission_bound() {
+        let k = knobs();
+        let plan = ChaosPlan::generate(1, 10);
+        let flood = plan
+            .clients
+            .iter()
+            .find(|c| c.behavior == ChaosBehavior::SubmitFlood)
+            .expect("a 10-client plan has a flood");
+        assert!(flood.script(&k).submits > 2 * k.max_queue);
+    }
+}

@@ -34,9 +34,24 @@
 //! a `result` frame equals the one-shot binary's rendering of the same
 //! recipe, whichever cache or scheduling path served the job (pinned by
 //! this crate's tests and the CI serve-smoke job).
+//!
+//! Every resource a client can consume is bounded, with a defined
+//! shedding order (DESIGN.md §12 "Overload semantics"): submissions
+//! past [`ServeConfig::max_queue`] are rejected with a structured
+//! `queue-full` error instead of queueing; every job can carry a
+//! wall-clock `deadline_ms` budget (or inherit
+//! [`ServeConfig::deadline_ms`]) enforced at slice boundaries exactly
+//! like cancellation; a slow reader's `progress` heartbeats are
+//! coalesced once its writer queue fills (never `ack` or terminal
+//! frames); and a session that disconnects has its queued and in-flight
+//! jobs cancelled so orphaned work stops burning worker slots. The
+//! seeded chaos harness in [`chaos`] and `tests/chaos.rs` drives
+//! misbehaving clients over every transport to pin those bounds.
+
+pub mod chaos;
 
 use pei_bench::runner::{ForkPolicy, RunSpec};
-use pei_bench::service::{resolve_capture, resolve_recipe, ForkCache};
+use pei_bench::service::{resolve_capture, resolve_recipe, ForkCache, Stopped};
 use pei_bench::tracecap::CaptureSpec;
 use pei_system::RunResult;
 use pei_trace::Recorder;
@@ -46,14 +61,21 @@ use pei_types::wire::{
 };
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, Write};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::Sender;
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Default byte budget for the resident warm-snapshot cache.
 pub const DEFAULT_CACHE_BYTES: u64 = 256 << 20;
+
+/// Default bound on queued jobs (admission control): submissions past
+/// it are rejected with a `queue-full` error frame.
+pub const DEFAULT_MAX_QUEUE: u64 = 1024;
+
+/// Default bound on frames queued to one session's writer before
+/// `progress` heartbeats start being coalesced.
+pub const DEFAULT_WRITER_QUEUE: usize = 256;
 
 /// Tenant name used when a submission names none.
 pub const DEFAULT_TENANT: &str = "default";
@@ -71,8 +93,8 @@ pub const PANIC_WORKER_FAULT: &str = "panic-worker";
 /// How a [`Daemon`] is provisioned.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker threads executing jobs (the submission queue is unbounded;
-    /// this bounds concurrency, not backlog).
+    /// Worker threads executing jobs (bounds concurrency; `max_queue`
+    /// bounds backlog).
     pub workers: usize,
     /// Cancellation/heartbeat granularity: jobs pause every this many
     /// simulated cycles to check their cancel flag and emit a
@@ -84,6 +106,21 @@ pub struct ServeConfig {
     /// Byte budget for resident warm snapshots; LRU entries are evicted
     /// past it. `None` = unbounded (the pre-budget behavior).
     pub cache_bytes: Option<u64>,
+    /// Admission control: total queued jobs the daemon accepts.
+    /// Submissions arriving with the queue at the bound get a terminal
+    /// `queue-full` error frame instead of enqueueing. `None` =
+    /// unbounded.
+    pub max_queue: Option<u64>,
+    /// Default wall-clock budget, in milliseconds from the ack, for
+    /// jobs that don't carry their own `deadline_ms`. Past it, a job is
+    /// abandoned at the next slice boundary with a terminal
+    /// `deadline-exceeded` error. `None` = no default budget.
+    pub deadline_ms: Option<u64>,
+    /// Frames queued to one session's writer before `progress`
+    /// heartbeats are coalesced (slow-client backpressure). Ack,
+    /// terminal, `stats`, and `bye` frames always queue — their count
+    /// is bounded by the session's own submissions.
+    pub writer_queue: usize,
 }
 
 impl Default for ServeConfig {
@@ -93,6 +130,58 @@ impl Default for ServeConfig {
             slice: 1_000_000,
             fork: ForkPolicy::default(),
             cache_bytes: Some(DEFAULT_CACHE_BYTES),
+            max_queue: Some(DEFAULT_MAX_QUEUE),
+            deadline_ms: None,
+            writer_queue: DEFAULT_WRITER_QUEUE,
+        }
+    }
+}
+
+/// Why a job's cancel flag was raised — the first cause wins, so the
+/// accounting stays stable when a client `cancel` races a disconnect
+/// reap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StopCause {
+    /// A client `cancel` frame.
+    Client,
+    /// The submitting session's reader hit EOF or its writer failed.
+    Disconnect,
+}
+
+/// A job's cancellation handle: the flag the engine polls at slice
+/// boundaries, plus the cause that raised it first (for the
+/// `cancelled` vs `disconnect-cancelled` counters).
+struct JobCtl {
+    cancel: AtomicBool,
+    /// 0 = not stopped, 1 = [`StopCause::Client`], 2 =
+    /// [`StopCause::Disconnect`].
+    cause: AtomicU8,
+}
+
+impl JobCtl {
+    fn new() -> JobCtl {
+        JobCtl {
+            cancel: AtomicBool::new(false),
+            cause: AtomicU8::new(0),
+        }
+    }
+
+    fn stop(&self, cause: StopCause) {
+        let code = match cause {
+            StopCause::Client => 1,
+            StopCause::Disconnect => 2,
+        };
+        let _ = self
+            .cause
+            .compare_exchange(0, code, Ordering::Relaxed, Ordering::Relaxed);
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    fn cause(&self) -> Option<StopCause> {
+        match self.cause.load(Ordering::Relaxed) {
+            1 => Some(StopCause::Client),
+            2 => Some(StopCause::Disconnect),
+            _ => None,
         }
     }
 }
@@ -108,8 +197,159 @@ struct Job {
     /// Test fault: panic the worker instead of running (see
     /// [`PANIC_WORKER_FAULT`]).
     panic: bool,
-    cancel: Arc<AtomicBool>,
-    reply: Sender<Response>,
+    ctl: Arc<JobCtl>,
+    /// Wall-clock budget: the instant past which the run is abandoned,
+    /// and the millisecond figure it came from (for the error message).
+    deadline: Option<Instant>,
+    deadline_ms: Option<u64>,
+    reply: SessionTx,
+}
+
+/// The bounded per-session writer queue. Critical frames (`ack`,
+/// terminals, `stats`, `bye`) always queue — a session can have at most
+/// its own outstanding jobs' worth of them in flight — while `progress`
+/// heartbeats past `cap` are coalesced or shed, so a reader that stops
+/// draining costs the daemon a bounded number of buffered frames, never
+/// a blocked worker.
+struct FrameQueue {
+    inner: Mutex<FrameQueueInner>,
+    /// Wakes the writer thread when a frame lands or the last sender
+    /// drops.
+    ready: Condvar,
+    /// Queued-frame count past which heartbeats are shed.
+    cap: usize,
+    /// Heartbeats coalesced or dropped on this session.
+    dropped: AtomicU64,
+}
+
+struct FrameQueueInner {
+    frames: VecDeque<Response>,
+    /// Live [`SessionTx`] clones; the writer exits when this reaches
+    /// zero with the queue empty.
+    senders: usize,
+    /// The transport failed: discard everything from now on so workers
+    /// never accumulate frames for (or block on) a dead session.
+    dead: bool,
+}
+
+/// A handle for queueing response frames to one session's writer
+/// thread; clones are counted so the writer knows when every job that
+/// could still report has done so.
+struct SessionTx {
+    q: Arc<FrameQueue>,
+}
+
+impl SessionTx {
+    fn new(cap: usize) -> SessionTx {
+        SessionTx {
+            q: Arc::new(FrameQueue {
+                inner: Mutex::new(FrameQueueInner {
+                    frames: VecDeque::new(),
+                    senders: 1,
+                    dead: false,
+                }),
+                ready: Condvar::new(),
+                cap: cap.max(1),
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Queues a critical frame (never shed; discarded only if the
+    /// transport already failed).
+    fn send(&self, resp: Response) {
+        let mut g = self.q.inner.lock().unwrap();
+        if g.dead {
+            return;
+        }
+        g.frames.push_back(resp);
+        drop(g);
+        self.q.ready.notify_one();
+    }
+
+    /// Queues a `progress` heartbeat, shedding under backpressure: when
+    /// the queue is at capacity the job's older queued heartbeat is
+    /// replaced by this one (coalesced), or — if none is queued — the
+    /// new one is dropped. Returns `false` when a heartbeat was shed
+    /// either way.
+    fn send_progress(&self, job: u64, cycle: u64) -> bool {
+        let mut g = self.q.inner.lock().unwrap();
+        if g.dead {
+            self.q.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        if g.frames.len() >= self.q.cap {
+            // Coalesce: the newest heartbeat supersedes an older queued
+            // one for the same job; one frame's worth of history is
+            // shed either way.
+            for f in g.frames.iter_mut().rev() {
+                if matches!(f, Response::Progress { job: j, .. } if *j == job) {
+                    *f = Response::Progress { job, cycle };
+                    break;
+                }
+            }
+            self.q.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        g.frames.push_back(Response::Progress { job, cycle });
+        drop(g);
+        self.q.ready.notify_one();
+        true
+    }
+
+    /// Heartbeats shed on this session so far.
+    fn dropped(&self) -> u64 {
+        self.q.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl Clone for SessionTx {
+    fn clone(&self) -> SessionTx {
+        self.q.inner.lock().unwrap().senders += 1;
+        SessionTx {
+            q: Arc::clone(&self.q),
+        }
+    }
+}
+
+impl Drop for SessionTx {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut g = self.q.inner.lock().unwrap();
+            g.senders -= 1;
+            g.senders
+        };
+        if remaining == 0 {
+            self.q.ready.notify_all();
+        }
+    }
+}
+
+/// Drains one session's [`FrameQueue`] into its transport. Returns
+/// `true` on a clean exit (all senders gone, queue flushed) and `false`
+/// when a write or flush failed — the queue is then marked dead so
+/// later sends become no-ops, and the caller reaps the session's jobs.
+fn writer_loop<W: Write>(q: &FrameQueue, mut writer: W) -> bool {
+    loop {
+        let frame = {
+            let mut g = q.inner.lock().unwrap();
+            loop {
+                if let Some(f) = g.frames.pop_front() {
+                    break f;
+                }
+                if g.senders == 0 || g.dead {
+                    return !g.dead;
+                }
+                g = q.ready.wait(g).unwrap();
+            }
+        };
+        if writeln!(writer, "{}", frame.encode()).is_err() || writer.flush().is_err() {
+            let mut g = q.inner.lock().unwrap();
+            g.dead = true;
+            g.frames.clear();
+            return false;
+        }
+    }
 }
 
 /// Per-worker scheduler accounting (mirrors [`WorkerStat`]).
@@ -208,6 +448,8 @@ struct Sched {
     /// Queued + running jobs; `shutdown` waits (on [`Shared::drained`])
     /// until this reaches zero.
     outstanding: u64,
+    /// Highest queue depth ever observed (updated at enqueue).
+    high_water: u64,
     tenants: HashMap<String, TenantAcct>,
 }
 
@@ -244,18 +486,37 @@ struct Shared {
     /// under the [`Sched`] lock so no submit can race past a worker's
     /// exit check. Workers drain the queue, then exit.
     shutdown: AtomicBool,
-    /// Cancel flags of every queued or running job, removed on the
-    /// terminal frame; `cancel` frames look their target up here.
+    /// Cancellation handles of every queued or running job, removed on
+    /// the terminal frame; `cancel` frames and disconnect reaping look
+    /// their targets up here.
     /// Lock order: may be taken *while holding* the `sched` lock, never
     /// held while *acquiring* it.
-    jobs: Mutex<HashMap<u64, Arc<AtomicBool>>>,
+    jobs: Mutex<HashMap<u64, Arc<JobCtl>>>,
     next_job: AtomicU64,
     cache: ForkCache,
     slice: u64,
+    /// Admission bound on queued jobs (`None` = unbounded).
+    max_queue: Option<u64>,
+    /// Default per-job wall-clock budget in milliseconds.
+    default_deadline_ms: Option<u64>,
+    /// Per-session writer-queue bound.
+    writer_queue: usize,
+    /// Jobs accepted (acked). After a drain, `submitted ==
+    /// completed + failed + cancelled + deadline_exceeded +
+    /// disconnect_cancelled` — the accounting partition the chaos
+    /// harness pins.
+    submitted: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
     cancelled: AtomicU64,
     rejected: AtomicU64,
+    /// Subset of `rejected` turned away by admission control.
+    queue_full: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    disconnect_cancelled: AtomicU64,
+    /// Heartbeats shed across all sessions (each session also keeps its
+    /// own count in its [`FrameQueue`]).
+    dropped_progress: AtomicU64,
     start: Instant,
 }
 
@@ -280,6 +541,7 @@ impl Daemon {
                 slots: vec![WorkerSlot::default(); workers],
                 running: 0,
                 outstanding: 0,
+                high_water: 0,
                 tenants: HashMap::new(),
             }),
             ready: Condvar::new(),
@@ -289,10 +551,18 @@ impl Daemon {
             next_job: AtomicU64::new(0),
             cache: ForkCache::with_budget(cfg.fork, cfg.cache_bytes),
             slice: cfg.slice.max(1),
+            max_queue: cfg.max_queue,
+            default_deadline_ms: cfg.deadline_ms,
+            writer_queue: cfg.writer_queue,
+            submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            queue_full: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            disconnect_cancelled: AtomicU64::new(0),
+            dropped_progress: AtomicU64::new(0),
             start: Instant::now(),
         });
         let workers = (0..workers)
@@ -312,7 +582,10 @@ impl Daemon {
     /// line, flushed). Returns when the reader ends or a `shutdown`
     /// frame completes — after every job this session submitted has
     /// sent its terminal frame, so a caller may drop the transport
-    /// immediately.
+    /// immediately. A reader that ends *without* a clean shutdown (or
+    /// a writer that fails) counts as a disconnect: the session's
+    /// queued and in-flight jobs are cancelled through the ordinary
+    /// cancellation path and tallied as `disconnect_cancelled`.
     pub fn serve<R: BufRead, W: Write + Send + 'static>(&self, reader: R, writer: W) {
         serve_session(&self.shared, reader, writer);
     }
@@ -355,10 +628,7 @@ fn release_claim(shared: &Shared, slot: usize, tenant: &str, busy_ms: u64) {
     s.slots[slot].busy_ms += busy_ms;
     s.running -= 1;
     s.outstanding -= 1;
-    s.tenants
-        .entry(tenant.to_owned())
-        .or_default()
-        .completed += 1;
+    s.tenants.entry(tenant.to_owned()).or_default().completed += 1;
     if s.outstanding == 0 {
         shared.drained.notify_all();
     }
@@ -376,7 +646,7 @@ struct PanicGuard<'a> {
     slot: usize,
     id: u64,
     tenant: String,
-    reply: Sender<Response>,
+    reply: SessionTx,
     began: Instant,
     armed: bool,
 }
@@ -395,7 +665,7 @@ impl Drop for PanicGuard<'_> {
         // Scoped: never hold the jobs lock while acquiring sched.
         self.shared.jobs.lock().unwrap().remove(&self.id);
         self.shared.failed.fetch_add(1, Ordering::Relaxed);
-        let _ = self.reply.send(Response::Error {
+        self.reply.send(Response::Error {
             job: Some(self.id),
             kind: "worker-panic".to_owned(),
             message: format!(
@@ -465,15 +735,18 @@ fn worker_loop(shared: &Shared, slot: usize) {
 
 /// Runs one job to its terminal frame. Never panics the worker on bad
 /// outcomes: they become `error` frames, cancellation becomes
-/// `cancelled`. (The [`PANIC_WORKER_FAULT`] test fault panics here on
-/// purpose, to pin the guard in [`worker_loop`].)
+/// `cancelled`, a lapsed deadline becomes a `deadline-exceeded` error.
+/// (The [`PANIC_WORKER_FAULT`] test fault panics here on purpose, to
+/// pin the guard in [`worker_loop`].)
 fn execute(shared: &Shared, job: Job) {
     let Job {
         id,
         spec,
         capture,
         panic,
-        cancel,
+        ctl,
+        deadline,
+        deadline_ms,
         reply,
     } = job;
     if panic {
@@ -481,52 +754,79 @@ fn execute(shared: &Shared, job: Job) {
     }
     let last_cycle = std::cell::Cell::new(0u64);
     let mut trace_path = None;
-    let result = if cancel.load(Ordering::Relaxed) {
-        // Cancelled while still queued: report without building anything.
-        None
-    } else if let Some((cs, path)) = capture {
+    let outcome = if let Some((cs, path)) = capture {
         // Traced runs execute cold — the tracer must observe the run
         // from cycle zero, which a restored snapshot cannot provide.
-        // Cancellation is checked only before the run starts.
-        shared.cache.note_ineligible();
-        match run_captured(&cs, &path) {
-            Ok(result) => {
-                trace_path = Some(path);
-                Some(result)
-            }
-            Err(message) => {
-                shared.jobs.lock().unwrap().remove(&id);
-                shared.failed.fetch_add(1, Ordering::Relaxed);
-                let _ = reply.send(Response::Error {
-                    job: Some(id),
-                    kind: "trace-io".to_owned(),
-                    message,
-                    violations: Vec::new(),
-                });
-                return;
+        // Cancellation and the deadline are checked only before the run
+        // starts.
+        if ctl.cancel.load(Ordering::Relaxed) {
+            Err(Stopped::Cancelled)
+        } else if deadline.is_some_and(|d| Instant::now() >= d) {
+            Err(Stopped::DeadlineExceeded)
+        } else {
+            shared.cache.note_ineligible();
+            match run_captured(&cs, &path) {
+                Ok(result) => {
+                    trace_path = Some(path);
+                    Ok(result)
+                }
+                Err(message) => {
+                    shared.jobs.lock().unwrap().remove(&id);
+                    shared.failed.fetch_add(1, Ordering::Relaxed);
+                    reply.send(Response::Error {
+                        job: Some(id),
+                        kind: "trace-io".to_owned(),
+                        message,
+                        violations: Vec::new(),
+                    });
+                    return;
+                }
             }
         }
     } else {
         shared
             .cache
-            .run_cancellable(&spec, shared.slice, &cancel, |cycle| {
+            .run_bounded(&spec, shared.slice, &ctl.cancel, deadline, |cycle| {
                 last_cycle.set(cycle);
-                let _ = reply.send(Response::Progress { job: id, cycle });
+                if !reply.send_progress(id, cycle) {
+                    shared.dropped_progress.fetch_add(1, Ordering::Relaxed);
+                }
             })
     };
     shared.jobs.lock().unwrap().remove(&id);
-    match result {
-        None => {
-            shared.cancelled.fetch_add(1, Ordering::Relaxed);
-            let _ = reply.send(Response::Cancelled {
+    match outcome {
+        Err(Stopped::Cancelled) => {
+            match ctl.cause() {
+                Some(StopCause::Disconnect) => {
+                    shared.disconnect_cancelled.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {
+                    shared.cancelled.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            reply.send(Response::Cancelled {
                 job: id,
                 cycle: last_cycle.get(),
             });
         }
-        Some(result) => match result.outcome.report() {
+        Err(Stopped::DeadlineExceeded) => {
+            shared.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            let ms = deadline_ms.unwrap_or(0);
+            reply.send(Response::Error {
+                job: Some(id),
+                kind: "deadline-exceeded".to_owned(),
+                message: format!(
+                    "job {id} exceeded its {ms} ms wall-clock deadline at cycle {}; \
+                     the run stopped at a slice boundary and cached state is untouched",
+                    last_cycle.get()
+                ),
+                violations: Vec::new(),
+            });
+        }
+        Ok(result) => match result.outcome.report() {
             Some(report) => {
                 shared.failed.fetch_add(1, Ordering::Relaxed);
-                let _ = reply.send(Response::Error {
+                reply.send(Response::Error {
                     job: Some(id),
                     kind: report.kind.label().to_owned(),
                     message: report.summary(),
@@ -535,7 +835,7 @@ fn execute(shared: &Shared, job: Job) {
             }
             None => {
                 shared.completed.fetch_add(1, Ordering::Relaxed);
-                let _ = reply.send(Response::Result(result_frame(id, &result, trace_path)));
+                reply.send(Response::Result(result_frame(id, &result, trace_path)));
             }
         },
     }
@@ -585,7 +885,7 @@ fn stats_frame(shared: &Shared) -> StatsFrame {
     // One lock: queue depth, running, the worker slots, and the tenant
     // table are a single coherent snapshot (a frame can never report
     // `running > 0` with every slot idle).
-    let (queue_depth, running, workers, mut tenants) = {
+    let (queue_depth, running, high_water, workers, mut tenants) = {
         let s = shared.sched.lock().unwrap();
         let workers: Vec<WorkerStat> = s
             .slots
@@ -611,17 +911,25 @@ fn stats_frame(shared: &Shared) -> StatsFrame {
                 }
             })
             .collect();
-        (s.queue_depth(), s.running, workers, tenants)
+        (s.queue_depth(), s.running, s.high_water, workers, tenants)
     };
     tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
     let cache = shared.cache.stats();
     StatsFrame {
         queue_depth,
         running,
+        submitted: shared.submitted.load(Ordering::Relaxed),
         completed: shared.completed.load(Ordering::Relaxed),
         failed: shared.failed.load(Ordering::Relaxed),
         cancelled: shared.cancelled.load(Ordering::Relaxed),
         rejected: shared.rejected.load(Ordering::Relaxed),
+        queue_full: shared.queue_full.load(Ordering::Relaxed),
+        deadline_exceeded: shared.deadline_exceeded.load(Ordering::Relaxed),
+        disconnect_cancelled: shared.disconnect_cancelled.load(Ordering::Relaxed),
+        queue_high_water: high_water,
+        dropped_progress: shared.dropped_progress.load(Ordering::Relaxed),
+        // Meaningful only inside a session (each fills in its own).
+        session_dropped_progress: 0,
         uptime_ms: shared.start.elapsed().as_millis() as u64,
         workers,
         tenants,
@@ -640,24 +948,46 @@ fn stats_frame(shared: &Shared) -> StatsFrame {
     }
 }
 
+/// Cancels (through the ordinary cancellation path) every still-live
+/// job in `ids` — the disconnect reap. Jobs already terminal are gone
+/// from the map and unaffected; first-cause-wins in [`JobCtl`] keeps a
+/// racing client `cancel` counted as a client cancel.
+fn reap_session(shared: &Shared, ids: &Mutex<Vec<u64>>) {
+    let ids = ids.lock().unwrap();
+    let jobs = shared.jobs.lock().unwrap();
+    for id in ids.iter() {
+        if let Some(ctl) = jobs.get(id) {
+            ctl.stop(StopCause::Disconnect);
+        }
+    }
+}
+
 /// The session loop behind [`Daemon::serve`]. Response frames funnel
-/// through an mpsc channel into a per-session writer thread, so worker
-/// threads never block on (or interleave within) the transport.
+/// through a bounded [`FrameQueue`] into a per-session writer thread,
+/// so worker threads never block on (or interleave within) the
+/// transport; a reader EOF/error or a writer failure reaps the
+/// session's outstanding jobs.
 fn serve_session<R: BufRead, W: Write + Send + 'static>(
     shared: &Arc<Shared>,
     reader: R,
     writer: W,
 ) {
-    let (tx, rx) = mpsc::channel::<Response>();
-    let writer_thread = std::thread::spawn(move || {
-        let mut writer = writer;
-        for resp in rx {
-            if writeln!(writer, "{}", resp.encode()).is_err() {
-                break;
+    let tx = SessionTx::new(shared.writer_queue);
+    // Every job id this session submitted, for the disconnect reap
+    // (shared with the writer thread, which reaps on transport failure
+    // even while the reader is still blocked on a half-open peer).
+    let session_jobs = Arc::new(Mutex::new(Vec::<u64>::new()));
+    let writer_thread = {
+        let q = Arc::clone(&tx.q);
+        let shared = Arc::clone(shared);
+        let ids = Arc::clone(&session_jobs);
+        std::thread::spawn(move || {
+            if !writer_loop(&q, writer) {
+                reap_session(&shared, &ids);
             }
-            let _ = writer.flush();
-        }
-    });
+        })
+    };
+    let mut clean_shutdown = false;
     for line in reader.lines() {
         let Ok(line) = line else { break };
         if line.trim().is_empty() {
@@ -668,7 +998,7 @@ fn serve_session<R: BufRead, W: Write + Send + 'static>(
                 // A malformed line poisons only itself: report the
                 // offset and keep reading.
                 shared.rejected.fetch_add(1, Ordering::Relaxed);
-                let _ = tx.send(Response::Error {
+                tx.send(Response::Error {
                     job: None,
                     kind: "bad-frame".to_owned(),
                     message: e.to_string(),
@@ -680,13 +1010,19 @@ fn serve_session<R: BufRead, W: Write + Send + 'static>(
                 trace,
                 tenant,
                 priority,
-            }) => submit(shared, &tx, &recipe, trace, tenant, priority),
+                deadline_ms,
+            }) => {
+                if let Some(id) = submit(shared, &tx, &recipe, trace, tenant, priority, deadline_ms)
+                {
+                    session_jobs.lock().unwrap().push(id);
+                }
+            }
             Ok(Request::Cancel { job }) => {
-                let flag = shared.jobs.lock().unwrap().get(&job).map(Arc::clone);
-                match flag {
-                    Some(flag) => flag.store(true, Ordering::Relaxed),
+                let ctl = shared.jobs.lock().unwrap().get(&job).map(Arc::clone);
+                match ctl {
+                    Some(ctl) => ctl.stop(StopCause::Client),
                     None => {
-                        let _ = tx.send(Response::Error {
+                        tx.send(Response::Error {
                             job: Some(job),
                             kind: "unknown-job".to_owned(),
                             message: format!("no queued or running job {job}"),
@@ -696,7 +1032,9 @@ fn serve_session<R: BufRead, W: Write + Send + 'static>(
                 }
             }
             Ok(Request::Stats) => {
-                let _ = tx.send(Response::Stats(stats_frame(shared)));
+                let mut frame = stats_frame(shared);
+                frame.session_dropped_progress = tx.dropped();
+                tx.send(Response::Stats(frame));
             }
             Ok(Request::Shutdown) => {
                 // Stop accepting (flag set under the sched lock so no
@@ -715,10 +1053,17 @@ fn serve_session<R: BufRead, W: Write + Send + 'static>(
                     s = shared.drained.wait(s).unwrap();
                 }
                 drop(s);
-                let _ = tx.send(Response::Bye);
+                tx.send(Response::Bye);
+                clean_shutdown = true;
                 break;
             }
         }
+    }
+    if !clean_shutdown {
+        // The client went away (EOF or a read error) without a clean
+        // shutdown: cancel its orphaned work so queued and in-flight
+        // jobs stop burning worker slots.
+        reap_session(shared, &session_jobs);
     }
     // Per-job sender clones keep the writer alive until every job this
     // session submitted has reported; joining here means a returned
@@ -727,24 +1072,27 @@ fn serve_session<R: BufRead, W: Write + Send + 'static>(
     let _ = writer_thread.join();
 }
 
-/// Handles one `submit` frame: resolve, ack, enqueue into the tenant's
-/// sub-queue of the requested band.
+/// Handles one `submit` frame: admission-check, resolve, ack, enqueue
+/// into the tenant's sub-queue of the requested band. Returns the job
+/// id when the submission was accepted (acked), `None` when rejected.
 fn submit(
     shared: &Arc<Shared>,
-    tx: &Sender<Response>,
+    tx: &SessionTx,
     recipe: &Recipe,
     trace: Option<String>,
     tenant: Option<String>,
     priority: Priority,
-) {
+    deadline_ms: Option<u64>,
+) -> Option<u64> {
     let reject = |kind: &str, message: String| {
         shared.rejected.fetch_add(1, Ordering::Relaxed);
-        let _ = tx.send(Response::Error {
+        tx.send(Response::Error {
             job: None,
             kind: kind.to_owned(),
             message,
             violations: Vec::new(),
         });
+        None
     };
     let tenant = tenant.unwrap_or_else(|| DEFAULT_TENANT.to_owned());
     if tenant.is_empty() || tenant.len() > 128 {
@@ -775,20 +1123,35 @@ fn submit(
         },
     };
     // Ack and enqueue under the sched lock: a worker can't pop the job
-    // (so no result frame can overtake the ack), and the shutdown flag
+    // (so no result frame can overtake the ack), the shutdown flag
     // can't flip between the check and the push (so no job is ever
-    // stranded in the queue after the workers exit).
+    // stranded in the queue after the workers exit), and the admission
+    // check can't race another submit past the bound.
     let mut s = shared.sched.lock().unwrap();
     if shared.shutdown.load(Ordering::Relaxed) {
         drop(s);
         return reject("shutting-down", "the daemon is draining".to_owned());
     }
+    if let Some(max) = shared.max_queue {
+        if s.queue_depth() >= max {
+            drop(s);
+            shared.queue_full.fetch_add(1, Ordering::Relaxed);
+            return reject(
+                "queue-full",
+                format!("the queue is at its bound ({max} jobs); resubmit once backlog drains"),
+            );
+        }
+    }
     let id = shared.next_job.fetch_add(1, Ordering::Relaxed) + 1;
-    let cancel = Arc::new(AtomicBool::new(false));
-    shared.jobs.lock().unwrap().insert(id, Arc::clone(&cancel));
+    let ctl = Arc::new(JobCtl::new());
+    shared.jobs.lock().unwrap().insert(id, Arc::clone(&ctl));
     s.outstanding += 1;
     s.tenants.entry(tenant.clone()).or_default().submitted += 1;
-    let _ = tx.send(Response::Ack { job: id });
+    shared.submitted.fetch_add(1, Ordering::Relaxed);
+    // The wall-clock budget runs from the ack.
+    let deadline_ms = deadline_ms.or(shared.default_deadline_ms);
+    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    tx.send(Response::Ack { job: id });
     s.bands[band_index(priority)].push(
         &tenant,
         Job {
@@ -796,10 +1159,17 @@ fn submit(
             spec,
             capture,
             panic,
-            cancel,
+            ctl,
+            deadline,
+            deadline_ms,
             reply: tx.clone(),
         },
     );
+    let depth = s.queue_depth();
+    if depth > s.high_water {
+        s.high_water = depth;
+    }
     drop(s);
     shared.ready.notify_one();
+    Some(id)
 }

@@ -34,22 +34,26 @@ usage: pei-serve (--socket PATH | --tcp ADDR | --stdio) [options]
   --cache-bytes N byte budget for resident warm snapshots; LRU entries
                   are evicted past it (default: 268435456 = 256 MiB;
                   0 = unbounded)
+  --max-queue N   admission bound: total queued jobs across all
+                  sessions; submits past it are rejected with a
+                  `queue-full` error frame (default: 1024;
+                  0 = unbounded)
+  --deadline-ms N default wall-clock budget per job in milliseconds,
+                  applied when a submit carries no `deadline_ms` of its
+                  own; jobs past budget stop at the next slice boundary
+                  with a `deadline-exceeded` error (default: 0 = none)
 ";
 
 /// One listening transport: anything that can hand back a buffered
 /// reader/writer pair per connection. Both listeners run non-blocking so
 /// the accept loops can poll the daemon's shutdown flag.
 trait Listener: Send + 'static {
-    fn accept_session(
-        &self,
-    ) -> std::io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)>;
+    fn accept_session(&self) -> std::io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)>;
     fn describe(&self) -> String;
 }
 
 impl Listener for UnixListener {
-    fn accept_session(
-        &self,
-    ) -> std::io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
+    fn accept_session(&self) -> std::io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
         let (stream, _) = self.accept()?;
         let reading = stream.try_clone()?;
         Ok((Box::new(reading), Box::new(stream)))
@@ -63,9 +67,7 @@ impl Listener for UnixListener {
 }
 
 impl Listener for TcpListener {
-    fn accept_session(
-        &self,
-    ) -> std::io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
+    fn accept_session(&self) -> std::io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
         let (stream, _) = self.accept()?;
         stream.set_nodelay(true).ok(); // frames are latency-sensitive lines
         let reading = stream.try_clone()?;
@@ -113,6 +115,8 @@ fn main() {
     let mut slice: u64 = 1_000_000;
     let mut fork = ForkPolicy::default();
     let mut cache_bytes: u64 = DEFAULT_CACHE_BYTES;
+    let mut max_queue: u64 = pei_serve::DEFAULT_MAX_QUEUE;
+    let mut deadline_ms: u64 = 0;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -129,6 +133,8 @@ fn main() {
             "--no-fork" => fork = ForkPolicy::disabled(),
             "--fork-min" => fork.min_prefix = parse(&value("--fork-min"), "--fork-min"),
             "--cache-bytes" => cache_bytes = parse(&value("--cache-bytes"), "--cache-bytes"),
+            "--max-queue" => max_queue = parse(&value("--max-queue"), "--max-queue"),
+            "--deadline-ms" => deadline_ms = parse(&value("--deadline-ms"), "--deadline-ms"),
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return;
@@ -150,6 +156,17 @@ fn main() {
         } else {
             Some(cache_bytes)
         },
+        max_queue: if max_queue == 0 {
+            None
+        } else {
+            Some(max_queue)
+        },
+        deadline_ms: if deadline_ms == 0 {
+            None
+        } else {
+            Some(deadline_ms)
+        },
+        ..ServeConfig::default()
     };
     if stdio {
         let daemon = Daemon::start(cfg);
@@ -168,15 +185,17 @@ fn main() {
             .unwrap_or_else(|e| fail(&format!("can't poll tcp `{addr}`: {e}")));
         eprintln!(
             "pei-serve: listening on tcp {}",
-            listener.local_addr().map_or_else(|_| addr.clone(), |a| a.to_string())
+            listener
+                .local_addr()
+                .map_or_else(|_| addr.clone(), |a| a.to_string())
         );
         let daemon = Arc::clone(&daemon);
         loops.push(std::thread::spawn(move || accept_loop(&daemon, listener)));
     }
     if let Some(path) = &socket {
         let _ = std::fs::remove_file(path);
-        let listener = UnixListener::bind(path)
-            .unwrap_or_else(|e| fail(&format!("can't bind `{path}`: {e}")));
+        let listener =
+            UnixListener::bind(path).unwrap_or_else(|e| fail(&format!("can't bind `{path}`: {e}")));
         listener
             .set_nonblocking(true)
             .unwrap_or_else(|e| fail(&format!("can't poll `{path}`: {e}")));

@@ -98,6 +98,7 @@ fn submit(recipe: Recipe) -> (u64, Request) {
             trace: None,
             tenant: None,
             priority: Priority::Normal,
+            deadline_ms: None,
         },
     )
 }
@@ -110,6 +111,7 @@ fn submit_as(recipe: Recipe, tenant: &str, priority: Priority) -> (u64, Request)
             trace: None,
             tenant: Some(tenant.to_owned()),
             priority,
+            deadline_ms: None,
         },
     )
 }
@@ -141,6 +143,7 @@ fn forked_config(workers: usize) -> ServeConfig {
         slice: 5_000,
         fork: ForkPolicy::always(),
         cache_bytes: None,
+        ..ServeConfig::default()
     }
 }
 
@@ -205,9 +208,68 @@ fn concurrent_sessions_interleave_without_losing_byte_identity() {
     faulty.fault_seed = Some(13);
     faulty.fault_kinds = vec!["corrupt-line".into()];
 
+    // Sessions must stay connected until their terminals arrive: an EOF
+    // with jobs still outstanding is a disconnect, and the daemon reaps
+    // (cancels) the orphaned work. Each session here submits, waits for
+    // all its terminal frames, and only then hangs up.
     let spawn = |recipes: Vec<Recipe>| {
         let daemon = Arc::clone(&daemon);
-        std::thread::spawn(move || run_session(&daemon, recipes.into_iter().map(submit).collect()))
+        std::thread::spawn(move || {
+            let expected = recipes.len();
+            let (tx, rx) = std::sync::mpsc::channel();
+            let out = SharedBuf::default();
+            let session = {
+                let daemon = Arc::clone(&daemon);
+                let out = out.clone();
+                std::thread::spawn(move || {
+                    daemon.serve(
+                        BufReader::new(ChannelReader {
+                            rx,
+                            buf: Vec::new(),
+                            pos: 0,
+                        }),
+                        out,
+                    );
+                })
+            };
+            for (_, req) in recipes.into_iter().map(submit) {
+                tx.send(req).expect("session is reading");
+            }
+            let deadline = std::time::Instant::now() + Duration::from_secs(120);
+            loop {
+                let bytes = out.0.lock().unwrap().clone();
+                let text = String::from_utf8(bytes).expect("frames are UTF-8");
+                let complete = &text[..text.rfind('\n').map_or(0, |i| i + 1)];
+                let terminals = complete
+                    .lines()
+                    .map(|l| Response::decode(l).expect("well-formed frames"))
+                    .filter(|r| {
+                        matches!(
+                            r,
+                            Response::Result(_)
+                                | Response::Cancelled { .. }
+                                | Response::Error { .. }
+                        )
+                    })
+                    .count();
+                if terminals == expected {
+                    break;
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "timed out waiting for {expected} terminals; saw:\n{text}"
+                );
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            drop(tx);
+            session.join().unwrap();
+            let bytes = out.0.lock().unwrap().clone();
+            String::from_utf8(bytes)
+                .unwrap()
+                .lines()
+                .map(|l| Response::decode(l).unwrap())
+                .collect::<Vec<Response>>()
+        })
     };
     let a = spawn(vec![quick_recipe("la"), quick_recipe("lab")]);
     let b = spawn(vec![quick_recipe("host"), quick_recipe("pim")]);
@@ -349,12 +411,14 @@ fn cancel_stops_queued_and_running_jobs_and_spares_the_cache() {
         trace: None,
         tenant: None,
         priority: Priority::Normal,
+        deadline_ms: None,
     });
     send(Request::Submit {
         recipe: long,
         trace: None,
         tenant: None,
         priority: Priority::Normal,
+        deadline_ms: None,
     });
     send(Request::Cancel { job: 2 });
     wait_for(
@@ -371,6 +435,7 @@ fn cancel_stops_queued_and_running_jobs_and_spares_the_cache() {
         trace: None,
         tenant: None,
         priority: Priority::Normal,
+        deadline_ms: None,
     });
     send(Request::Shutdown);
     session.join().unwrap();
@@ -472,6 +537,7 @@ fn bad_recipes_are_rejected_as_structured_errors() {
                     trace: Some("/tmp/should-not-exist.petr".into()),
                     tenant: None,
                     priority: Priority::Normal,
+                    deadline_ms: None,
                 },
             ),
             (0, Request::Shutdown),
@@ -517,6 +583,7 @@ fn traced_submissions_write_a_replayable_capture() {
                     trace: Some(path.to_string_lossy().into_owned()),
                     tenant: None,
                     priority: Priority::Normal,
+                    deadline_ms: None,
                 },
             ),
             (0, Request::Shutdown),
@@ -601,6 +668,7 @@ fn eviction_under_a_starved_byte_budget_is_byte_identical_to_cold() {
         slice: 5_000,
         fork: ForkPolicy::always(),
         cache_bytes: Some(1),
+        ..ServeConfig::default()
     });
     let responses = run_session(
         &daemon,
@@ -748,10 +816,7 @@ fn a_tcp_session_is_byte_identical_to_an_in_process_session() {
     };
     let reference_daemon = Daemon::start(forked_config(1));
     let reference_out = SharedBuf::default();
-    reference_daemon.serve(
-        BufReader::new(Paced::new(script())),
-        reference_out.clone(),
-    );
+    reference_daemon.serve(BufReader::new(Paced::new(script())), reference_out.clone());
     let reference_bytes = reference_out.0.lock().unwrap().clone();
 
     let daemon = Arc::new(Daemon::start(forked_config(1)));
@@ -785,4 +850,383 @@ fn a_tcp_session_is_byte_identical_to_an_in_process_session() {
         "the TCP transport changes no frame"
     );
     assert_eq!(tcp_bytes, reference_bytes);
+}
+
+fn submit_deadline(recipe: Recipe, deadline_ms: u64) -> (u64, Request) {
+    (
+        0,
+        Request::Submit {
+            recipe,
+            trace: None,
+            tenant: None,
+            priority: Priority::Normal,
+            deadline_ms: Some(deadline_ms),
+        },
+    )
+}
+
+/// The long-running filler recipe the overload tests use to pin a
+/// worker for around a second of wall clock. The deadline tests need it
+/// to outlast a few-hundred-millisecond budget in both build profiles;
+/// the optimized simulator is ~10x faster and the medium input's trace
+/// exhausts at ~430k cycles, so release steps up to the large input.
+fn long_recipe() -> Recipe {
+    let mut r = quick_recipe("la");
+    if cfg!(debug_assertions) {
+        r.size = "medium".to_owned();
+        r.budget = Some(200_000);
+    } else {
+        r.size = "large".to_owned();
+        r.budget = Some(2_000_000);
+    }
+    r
+}
+
+#[test]
+fn submissions_past_the_queue_bound_are_rejected_queue_full() {
+    // One worker, `max_queue` 1: the filler pins the worker (a running
+    // job no longer counts against the bound), job 2 occupies the only
+    // queue slot, and job 3 must be turned away with a structured
+    // `queue-full` error — rejected at admission, never becoming a job.
+    let reference = resolve_recipe(&quick_recipe("la")).unwrap().run();
+    let daemon = Arc::new(Daemon::start(ServeConfig {
+        workers: 1,
+        slice: 5_000,
+        fork: ForkPolicy::always(),
+        cache_bytes: None,
+        max_queue: Some(1),
+        ..ServeConfig::default()
+    }));
+    let (tx, rx) = std::sync::mpsc::channel();
+    let out = SharedBuf::default();
+    let session = {
+        let daemon = Arc::clone(&daemon);
+        let out = out.clone();
+        std::thread::spawn(move || {
+            daemon.serve(
+                BufReader::new(ChannelReader {
+                    rx,
+                    buf: Vec::new(),
+                    pos: 0,
+                }),
+                out,
+            );
+        })
+    };
+    let send = |req: Request| tx.send(req).expect("session is reading");
+
+    send(submit(long_recipe()).1);
+    wait_for(
+        &out,
+        "the filler's first heartbeat",
+        |r| matches!(r, Response::Progress { job: 1, cycle } if *cycle > 0),
+    );
+    send(submit(quick_recipe("la")).1);
+    wait_for(&out, "job 2's ack", |r| {
+        matches!(r, Response::Ack { job: 2 })
+    });
+    send(submit(quick_recipe("la")).1);
+    let rejection = wait_for(
+        &out,
+        "the queue-full rejection",
+        |r| matches!(r, Response::Error { job: None, kind, .. } if kind == "queue-full"),
+    );
+    match rejection {
+        Response::Error { message, .. } => {
+            assert!(message.contains("1 jobs"), "the bound is named: {message}");
+        }
+        other => panic!("expected the rejection frame, got {other:?}"),
+    }
+    send(Request::Cancel { job: 1 });
+    send(Request::Shutdown);
+    session.join().unwrap();
+
+    let bytes = out.0.lock().unwrap().clone();
+    let responses: Vec<Response> = String::from_utf8(bytes)
+        .unwrap()
+        .lines()
+        .map(|l| Response::decode(l).unwrap())
+        .collect();
+    match terminal_for(&responses, 2) {
+        Response::Result(r) => {
+            assert_eq!(
+                r.stats,
+                reference.stats.to_string(),
+                "job 2 still ran clean"
+            );
+        }
+        other => panic!("job 2 should complete, got {other:?}"),
+    }
+    assert!(matches!(responses.last(), Some(Response::Bye)));
+
+    let stats = daemon.stats();
+    assert_eq!(stats.submitted, 2, "the rejected submit never became a job");
+    assert_eq!(stats.queue_full, 1);
+    assert_eq!(stats.rejected, 1, "queue-full rejections count as rejected");
+    assert_eq!(stats.queue_high_water, 1, "depth never exceeded the bound");
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(
+        stats.submitted,
+        stats.completed
+            + stats.failed
+            + stats.cancelled
+            + stats.deadline_exceeded
+            + stats.disconnect_cancelled,
+        "the accounting partition balances"
+    );
+}
+
+#[test]
+fn deadlines_bound_running_and_queued_jobs_and_spare_the_cache() {
+    // One worker. Job 1 is a >1 s run with a 300 ms budget: it must be
+    // abandoned mid-run at a slice boundary. Job 2 (200 ms budget)
+    // spends longer than that queued behind job 1, so it must die on
+    // the pre-check without simulating a cycle. Job 3 is healthy and
+    // must stay byte-identical — a lapsed deadline never corrupts the
+    // resident caches.
+    let reference = resolve_recipe(&quick_recipe("la")).unwrap().run();
+    let daemon = Daemon::start(forked_config(1));
+    let responses = run_session(
+        &daemon,
+        vec![
+            submit_deadline(long_recipe(), 300),
+            submit_deadline(long_recipe(), 200),
+            submit(quick_recipe("la")),
+            (0, Request::Shutdown),
+        ],
+    );
+    match terminal_for(&responses, 1) {
+        Response::Error { kind, message, .. } => {
+            assert_eq!(kind, "deadline-exceeded");
+            assert!(message.contains("300 ms"), "{message}");
+            assert!(
+                !message.contains("at cycle 0;"),
+                "job 1 was abandoned mid-run: {message}"
+            );
+        }
+        other => panic!("job 1 should exceed its deadline, got {other:?}"),
+    }
+    match terminal_for(&responses, 2) {
+        Response::Error { kind, message, .. } => {
+            assert_eq!(kind, "deadline-exceeded");
+            assert!(
+                message.contains("at cycle 0;"),
+                "job 2 expired while queued: {message}"
+            );
+        }
+        other => panic!("job 2 should expire queued, got {other:?}"),
+    }
+    match terminal_for(&responses, 3) {
+        Response::Result(r) => assert_eq!(r.stats, reference.stats.to_string()),
+        other => panic!("job 3 should complete, got {other:?}"),
+    }
+    let stats = daemon.stats();
+    assert_eq!(stats.deadline_exceeded, 2);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.cancelled, 0, "deadlines are not client cancels");
+    assert_eq!(stats.failed, 0);
+
+    // The daemon-wide default budget applies when a submit names none.
+    let daemon = Daemon::start(ServeConfig {
+        workers: 1,
+        slice: 5_000,
+        fork: ForkPolicy::always(),
+        cache_bytes: None,
+        deadline_ms: Some(200),
+        ..ServeConfig::default()
+    });
+    let responses = run_session(&daemon, vec![submit(long_recipe()), (0, Request::Shutdown)]);
+    match terminal_for(&responses, 1) {
+        Response::Error { kind, message, .. } => {
+            assert_eq!(kind, "deadline-exceeded");
+            assert!(message.contains("200 ms"), "{message}");
+        }
+        other => panic!("the default budget should apply, got {other:?}"),
+    }
+    assert_eq!(daemon.stats().deadline_exceeded, 1);
+}
+
+#[test]
+fn a_vanishing_client_gets_its_queued_and_running_jobs_reaped() {
+    // One worker; the session starts a long job, queues a second, and
+    // then disconnects (reader EOF, no shutdown frame). Both jobs must
+    // be cancelled through the disconnect path — freeing the worker —
+    // and a later well-behaved session must run byte-identically.
+    let reference = resolve_recipe(&quick_recipe("la")).unwrap().run();
+    let daemon = Arc::new(Daemon::start(forked_config(1)));
+    let (tx, rx) = std::sync::mpsc::channel();
+    let out = SharedBuf::default();
+    let session = {
+        let daemon = Arc::clone(&daemon);
+        let out = out.clone();
+        std::thread::spawn(move || {
+            daemon.serve(
+                BufReader::new(ChannelReader {
+                    rx,
+                    buf: Vec::new(),
+                    pos: 0,
+                }),
+                out,
+            );
+        })
+    };
+    tx.send(submit(long_recipe()).1).unwrap();
+    tx.send(submit(long_recipe()).1).unwrap();
+    wait_for(
+        &out,
+        "job 1's first heartbeat",
+        |r| matches!(r, Response::Progress { job: 1, cycle } if *cycle > 0),
+    );
+    drop(tx); // the client vanishes mid-job
+    session.join().unwrap();
+
+    // `serve` returns only after the reaped jobs delivered terminals.
+    let bytes = out.0.lock().unwrap().clone();
+    let responses: Vec<Response> = String::from_utf8(bytes)
+        .unwrap()
+        .lines()
+        .map(|l| Response::decode(l).unwrap())
+        .collect();
+    match terminal_for(&responses, 1) {
+        Response::Cancelled { cycle, .. } => {
+            assert!(*cycle > 0, "job 1 was reaped mid-run");
+        }
+        other => panic!("job 1 should be reaped, got {other:?}"),
+    }
+    match terminal_for(&responses, 2) {
+        Response::Cancelled { cycle, .. } => {
+            assert_eq!(*cycle, 0, "job 2 was reaped while queued");
+        }
+        other => panic!("job 2 should be reaped, got {other:?}"),
+    }
+
+    let stats = daemon.stats();
+    assert_eq!(stats.disconnect_cancelled, 2);
+    assert_eq!(stats.cancelled, 0, "no client cancel was involved");
+    assert_eq!(stats.running, 0, "no leaked worker slot");
+    assert_eq!(stats.queue_depth, 0);
+    assert!(stats.workers.iter().all(|w| !w.busy));
+
+    let responses = run_session(
+        &daemon,
+        vec![submit(quick_recipe("la")), (0, Request::Shutdown)],
+    );
+    let id = responses
+        .iter()
+        .find_map(|r| match r {
+            Response::Ack { job } => Some(*job),
+            _ => None,
+        })
+        .expect("the later session is served");
+    match terminal_for(&responses, id) {
+        Response::Result(r) => assert_eq!(r.stats, reference.stats.to_string()),
+        other => panic!("the daemon must keep serving after a reap, got {other:?}"),
+    }
+}
+
+/// A writer that stalls before every write — a reader that has stopped
+/// draining its socket, as seen from the daemon's writer thread.
+#[derive(Clone)]
+struct StallingBuf {
+    inner: SharedBuf,
+    stall: Duration,
+}
+
+impl Write for StallingBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        std::thread::sleep(self.stall);
+        self.inner.write(buf)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn slow_readers_shed_heartbeats_but_never_acks_or_terminals() {
+    // A tiny slice makes the job produce ~40 heartbeats in microseconds
+    // while the stalled writer drains one frame per 5 ms through a
+    // 2-frame queue: coalescing must shed most heartbeats, yet the ack,
+    // the result (byte-identical), the stats frame, and bye all arrive.
+    let reference = resolve_recipe(&quick_recipe("la")).unwrap().run();
+    let daemon = Arc::new(Daemon::start(ServeConfig {
+        workers: 1,
+        slice: 50,
+        fork: ForkPolicy::always(),
+        cache_bytes: None,
+        writer_queue: 2,
+        ..ServeConfig::default()
+    }));
+    let (tx, rx) = std::sync::mpsc::channel();
+    let out = SharedBuf::default();
+    let session = {
+        let daemon = Arc::clone(&daemon);
+        let out = StallingBuf {
+            inner: out.clone(),
+            stall: Duration::from_millis(5),
+        };
+        std::thread::spawn(move || {
+            daemon.serve(
+                BufReader::new(ChannelReader {
+                    rx,
+                    buf: Vec::new(),
+                    pos: 0,
+                }),
+                out,
+            );
+        })
+    };
+    tx.send(submit(quick_recipe("la")).1).unwrap();
+    wait_for(
+        &out,
+        "the job's result",
+        |r| matches!(r, Response::Result(rf) if rf.job == 1),
+    );
+    tx.send(Request::Stats).unwrap();
+    tx.send(Request::Shutdown).unwrap();
+    session.join().unwrap();
+
+    let bytes = out.0.lock().unwrap().clone();
+    let responses: Vec<Response> = String::from_utf8(bytes)
+        .unwrap()
+        .lines()
+        .map(|l| Response::decode(l).unwrap())
+        .collect();
+    assert!(matches!(responses.first(), Some(Response::Ack { job: 1 })));
+    match terminal_for(&responses, 1) {
+        Response::Result(r) => {
+            assert_eq!(r.stats, reference.stats.to_string(), "terminals never shed");
+        }
+        other => panic!("the job should complete, got {other:?}"),
+    }
+    assert!(matches!(responses.last(), Some(Response::Bye)));
+
+    let heartbeats = responses
+        .iter()
+        .filter(|r| matches!(r, Response::Progress { .. }))
+        .count() as u64;
+    let stats = responses
+        .iter()
+        .find_map(|r| match r {
+            Response::Stats(s) => Some(s.clone()),
+            _ => None,
+        })
+        .expect("the stats request was answered");
+    assert!(
+        stats.session_dropped_progress >= 1,
+        "the 2-frame queue shed heartbeats: {stats:?}"
+    );
+    assert!(
+        stats.dropped_progress >= stats.session_dropped_progress,
+        "the daemon-wide counter covers this session: {stats:?}"
+    );
+    // Conservation: one heartbeat per 50-cycle slice was produced, and
+    // each was either delivered or counted shed — none vanished.
+    assert!(
+        heartbeats + stats.session_dropped_progress >= reference.cycles / 50 - 1,
+        "heartbeats delivered ({heartbeats}) plus shed ({}) cover the {} slices",
+        stats.session_dropped_progress,
+        reference.cycles / 50
+    );
 }

@@ -23,6 +23,7 @@
 //!     trace: None,
 //!     tenant: None,
 //!     priority: Default::default(),
+//!     deadline_ms: None,
 //! };
 //! let line = req.encode();
 //! assert_eq!(Request::decode(&line).unwrap(), req);
@@ -186,6 +187,10 @@ impl Priority {
 }
 
 /// A client-to-daemon frame.
+// The submit variant's inline `Recipe` dwarfs the other variants, but
+// submits dominate real traffic and boxing would put every decode
+// through an extra allocation for no measured benefit.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Queue a recipe; answered by `ack`, then `progress` heartbeats,
@@ -202,6 +207,11 @@ pub enum Request {
         tenant: Option<String>,
         /// Scheduling band (omitted → `normal`).
         priority: Priority,
+        /// Wall-clock budget in milliseconds, measured from the ack.
+        /// A job past its deadline is abandoned at the next slice
+        /// boundary with a terminal `deadline-exceeded` error (omitted
+        /// → the daemon's `--deadline-ms` default, if any).
+        deadline_ms: Option<u64>,
     },
     /// Cancel a queued or in-flight job by the id `ack` returned.
     Cancel {
@@ -224,6 +234,7 @@ impl Request {
                 trace,
                 tenant,
                 priority,
+                deadline_ms,
             } => {
                 let mut m = vec![
                     ("type".to_owned(), Json::from("submit")),
@@ -237,6 +248,9 @@ impl Request {
                 }
                 if *priority != Priority::default() {
                     m.push(("priority".to_owned(), Json::from(priority.name())));
+                }
+                if let Some(d) = deadline_ms {
+                    m.push(("deadline_ms".to_owned(), Json::from(*d)));
                 }
                 Json::Obj(m)
             }
@@ -269,6 +283,7 @@ impl Request {
                             bad(format!("unknown priority `{p}` (high|normal|low)"))
                         })?,
                     },
+                    deadline_ms: opt_u64(&v, "deadline_ms")?,
                 })
             }
             "cancel" => Ok(Request::Cancel {
@@ -377,14 +392,41 @@ pub struct StatsFrame {
     pub queue_depth: u64,
     /// Jobs currently executing.
     pub running: u64,
+    /// Jobs accepted (acked) since startup. Every accepted job reaches
+    /// exactly one terminal state, so after a drain
+    /// `submitted == completed + failed + cancelled + deadline_exceeded
+    /// + disconnect_cancelled`.
+    pub submitted: u64,
     /// Jobs completed successfully since startup.
     pub completed: u64,
     /// Jobs that ended in a failure report (stall, cycle limit, check).
     pub failed: u64,
-    /// Jobs cancelled before completing.
+    /// Jobs cancelled by a client `cancel` frame before completing.
     pub cancelled: u64,
-    /// Submissions rejected before queueing (unknown vocabulary).
+    /// Submissions rejected before queueing (malformed frames, unknown
+    /// vocabulary, a full queue, or a draining daemon). Rejected
+    /// submissions never become jobs and are outside the `submitted`
+    /// partition.
     pub rejected: u64,
+    /// The subset of `rejected` turned away with `kind:"queue-full"`
+    /// because the queue was at `--max-queue`.
+    pub queue_full: u64,
+    /// Jobs abandoned at a slice boundary because their wall-clock
+    /// deadline passed (terminal `kind:"deadline-exceeded"`).
+    pub deadline_exceeded: u64,
+    /// Jobs cancelled because their session's reader hit EOF or its
+    /// writer failed (disconnect reaping).
+    pub disconnect_cancelled: u64,
+    /// Highest queue depth observed since startup.
+    pub queue_high_water: u64,
+    /// Progress heartbeats coalesced or dropped across all sessions
+    /// because a writer queue was full. Ack and terminal frames are
+    /// never dropped.
+    pub dropped_progress: u64,
+    /// Progress heartbeats coalesced or dropped on the session that
+    /// answered this `stats` request (0 when the frame was not produced
+    /// for a live session).
+    pub session_dropped_progress: u64,
     /// Daemon uptime in milliseconds.
     pub uptime_ms: u64,
     /// One entry per worker.
@@ -430,7 +472,9 @@ pub enum Response {
         /// one.
         job: Option<u64>,
         /// Machine-readable kind (`bad-frame`, `bad-recipe`,
-        /// `unknown-job`, `stalled`, `cycle-limit`, `check-failed`).
+        /// `unknown-job`, `queue-full`, `deadline-exceeded`,
+        /// `shutting-down`, `stalled`, `cycle-limit`, `check-failed`,
+        /// `worker-panic`).
         kind: String,
         /// Human-readable description (for malformed frames this
         /// includes the byte offset).
@@ -511,10 +555,32 @@ impl Response {
                 ("type".to_owned(), Json::from("stats")),
                 ("queue_depth".to_owned(), Json::from(s.queue_depth)),
                 ("running".to_owned(), Json::from(s.running)),
+                ("submitted".to_owned(), Json::from(s.submitted)),
                 ("completed".to_owned(), Json::from(s.completed)),
                 ("failed".to_owned(), Json::from(s.failed)),
                 ("cancelled".to_owned(), Json::from(s.cancelled)),
                 ("rejected".to_owned(), Json::from(s.rejected)),
+                ("queue_full".to_owned(), Json::from(s.queue_full)),
+                (
+                    "deadline_exceeded".to_owned(),
+                    Json::from(s.deadline_exceeded),
+                ),
+                (
+                    "disconnect_cancelled".to_owned(),
+                    Json::from(s.disconnect_cancelled),
+                ),
+                (
+                    "queue_high_water".to_owned(),
+                    Json::from(s.queue_high_water),
+                ),
+                (
+                    "dropped_progress".to_owned(),
+                    Json::from(s.dropped_progress),
+                ),
+                (
+                    "session_dropped_progress".to_owned(),
+                    Json::from(s.session_dropped_progress),
+                ),
                 ("uptime_ms".to_owned(), Json::from(s.uptime_ms)),
                 (
                     "workers".to_owned(),
@@ -668,10 +734,19 @@ impl Response {
                 Ok(Response::Stats(StatsFrame {
                     queue_depth: req_u64(&v, "queue_depth")?,
                     running: req_u64(&v, "running")?,
+                    // Overload counters default to 0 so frames from
+                    // daemons predating them still decode.
+                    submitted: opt_u64(&v, "submitted")?.unwrap_or(0),
                     completed: req_u64(&v, "completed")?,
                     failed: req_u64(&v, "failed")?,
                     cancelled: req_u64(&v, "cancelled")?,
                     rejected: req_u64(&v, "rejected")?,
+                    queue_full: opt_u64(&v, "queue_full")?.unwrap_or(0),
+                    deadline_exceeded: opt_u64(&v, "deadline_exceeded")?.unwrap_or(0),
+                    disconnect_cancelled: opt_u64(&v, "disconnect_cancelled")?.unwrap_or(0),
+                    queue_high_water: opt_u64(&v, "queue_high_water")?.unwrap_or(0),
+                    dropped_progress: opt_u64(&v, "dropped_progress")?.unwrap_or(0),
+                    session_dropped_progress: opt_u64(&v, "session_dropped_progress")?.unwrap_or(0),
                     uptime_ms: req_u64(&v, "uptime_ms")?,
                     workers,
                     tenants,
@@ -818,18 +893,21 @@ mod tests {
                 trace: Some("/tmp/x.petr".into()),
                 tenant: Some("team-a".into()),
                 priority: Priority::High,
+                deadline_ms: Some(30_000),
             },
             Request::Submit {
                 recipe: Recipe::new("atf", "small", "host"),
                 trace: None,
                 tenant: None,
                 priority: Priority::Normal,
+                deadline_ms: None,
             },
             Request::Submit {
                 recipe: Recipe::new("pr", "medium", "la"),
                 trace: None,
                 tenant: Some("bulk".into()),
                 priority: Priority::Low,
+                deadline_ms: Some(1),
             },
             Request::Cancel { job: 17 },
             Request::Stats,
@@ -875,10 +953,17 @@ mod tests {
             Response::Stats(StatsFrame {
                 queue_depth: 2,
                 running: 1,
+                submitted: 15,
                 completed: 10,
                 failed: 1,
                 cancelled: 1,
                 rejected: 3,
+                queue_full: 2,
+                deadline_exceeded: 1,
+                disconnect_cancelled: 2,
+                queue_high_water: 7,
+                dropped_progress: 12,
+                session_dropped_progress: 5,
                 uptime_ms: 5000,
                 workers: vec![
                     WorkerStat {
@@ -963,6 +1048,7 @@ mod tests {
                 trace,
                 tenant,
                 priority,
+                deadline_ms,
             } => {
                 assert_eq!(recipe.size, "medium");
                 assert_eq!(recipe.policy, "la");
@@ -972,6 +1058,7 @@ mod tests {
                 assert!(trace.is_none());
                 assert!(tenant.is_none());
                 assert_eq!(priority, Priority::Normal);
+                assert_eq!(deadline_ms, None);
             }
             other => panic!("wrong frame {other:?}"),
         }
@@ -979,10 +1066,9 @@ mod tests {
 
     #[test]
     fn unknown_priorities_are_rejected_and_known_ones_parse() {
-        let err = Request::decode(
-            r#"{"type":"submit","recipe":{"workload":"pr"},"priority":"urgent"}"#,
-        )
-        .unwrap_err();
+        let err =
+            Request::decode(r#"{"type":"submit","recipe":{"workload":"pr"},"priority":"urgent"}"#)
+                .unwrap_err();
         assert!(err.to_string().contains("priority"), "{err}");
         for p in [Priority::High, Priority::Normal, Priority::Low] {
             assert_eq!(Priority::parse(p.name()), Some(p));
@@ -997,6 +1083,29 @@ mod tests {
             } => {
                 assert_eq!(tenant.as_deref(), Some("a"));
                 assert_eq!(priority, Priority::Low);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_frames_without_overload_counters_still_decode() {
+        // Frames from a daemon predating the overload counters decode
+        // with the new fields zeroed.
+        let line = concat!(
+            r#"{"type":"stats","queue_depth":3,"running":1,"completed":4,"#,
+            r#""failed":0,"cancelled":0,"rejected":2,"uptime_ms":10,"#,
+            r#""graph_cache_entries":0}"#,
+        );
+        match Response::decode(line).unwrap() {
+            Response::Stats(s) => {
+                assert_eq!(s.queue_depth, 3);
+                assert_eq!(s.submitted, 0);
+                assert_eq!(s.queue_full, 0);
+                assert_eq!(s.deadline_exceeded, 0);
+                assert_eq!(s.disconnect_cancelled, 0);
+                assert_eq!(s.queue_high_water, 0);
+                assert_eq!(s.dropped_progress, 0);
             }
             other => panic!("wrong frame {other:?}"),
         }

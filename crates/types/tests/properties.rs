@@ -1,8 +1,45 @@
 //! Property-based tests of the shared vocabulary types.
 
 use pei_types::packet::flits_for;
+use pei_types::wire::{Priority, Recipe, Request, Response};
 use pei_types::{mem::ns, Addr, BlockAddr, OperandValue, PacketKind, ReqId, BLOCK_BYTES};
 use proptest::prelude::*;
+
+/// A representative spread of wire frames, parameterized so the cases
+/// exercise different field widths and payload shapes.
+fn frame_corpus(a: u64) -> Vec<String> {
+    let mut recipe = Recipe::new("atf", "small", "la");
+    recipe.seed = a;
+    recipe.budget = Some(a % 1_000_000);
+    vec![
+        Request::Submit {
+            recipe,
+            trace: None,
+            tenant: Some(format!("tenant-{}", a % 97)),
+            priority: Priority::High,
+            deadline_ms: Some(a % 60_000),
+        }
+        .encode(),
+        Request::Cancel { job: a }.encode(),
+        Request::Stats.encode(),
+        Request::Shutdown.encode(),
+        Response::Ack { job: a }.encode(),
+        Response::Progress {
+            job: a,
+            cycle: a.wrapping_mul(31),
+        }
+        .encode(),
+        Response::Cancelled { job: a, cycle: a }.encode(),
+        Response::Error {
+            job: Some(a),
+            kind: "deadline-exceeded".to_owned(),
+            message: format!("job {a} exceeded its budget"),
+            violations: vec!["v".repeat((a % 7) as usize)],
+        }
+        .encode(),
+        Response::Bye.encode(),
+    ]
+}
 
 proptest! {
     #[test]
@@ -59,5 +96,52 @@ proptest! {
         let fa = PacketKind::PimReq { input_bytes: a }.flits();
         let fb = PacketKind::PimReq { input_bytes: b }.flits();
         prop_assert!(fa <= fb);
+    }
+
+    // A frame torn at ANY interior byte boundary — the daemon sees
+    // exactly this when a client's write is cut mid-frame — must decode
+    // to an error, never a panic, and the error must carry the byte
+    // offset at which the JSON went wrong (a torn object is always
+    // malformed JSON: the cut leaves an unterminated value on one side
+    // and trailing garbage on the other).
+    #[test]
+    fn torn_frames_error_with_a_byte_offset_at_every_cut(a in any::<u64>()) {
+        for frame in frame_corpus(a) {
+            prop_assert!(
+                Request::decode(&frame).is_ok() || Response::decode(&frame).is_ok(),
+                "whole frames decode: {frame}"
+            );
+            for cut in 1..frame.len() {
+                prop_assume!(frame.is_char_boundary(cut));
+                let (head, tail) = frame.split_at(cut);
+                for torn in [head, tail] {
+                    let req = Request::decode(torn)
+                        .expect_err("a torn frame is never a request");
+                    let resp = Response::decode(torn)
+                        .expect_err("a torn frame is never a response");
+                    prop_assert!(
+                        req.to_string().contains("at byte"),
+                        "request error names the offset: {req} (cut {cut} of {frame})"
+                    );
+                    prop_assert!(
+                        resp.to_string().contains("at byte"),
+                        "response error names the offset: {resp} (cut {cut} of {frame})"
+                    );
+                }
+            }
+        }
+    }
+
+    // Arbitrary garbage bytes (valid UTF-8 or not, after lossy
+    // replacement) must never panic the decoders.
+    #[test]
+    fn garbage_lines_never_panic_the_decoders(bytes in proptest::collection::vec(any::<u8>(), 0..=96)) {
+        let line = String::from_utf8_lossy(&bytes);
+        if let Err(e) = Request::decode(&line) {
+            prop_assert!(!e.to_string().is_empty());
+        }
+        if let Err(e) = Response::decode(&line) {
+            prop_assert!(!e.to_string().is_empty());
+        }
     }
 }

@@ -31,6 +31,8 @@ struct Args {
     submit: Option<String>,
     tenant: Option<String>,
     priority: Option<String>,
+    connect_timeout_ms: u64,
+    deadline_ms: Option<u64>,
 }
 
 const USAGE: &str = "\
@@ -66,6 +68,13 @@ OPTIONS:
                   --replay, --save-at, and --resume)
       --tenant T  tag the --submit under tenant T's fair-share queue
       --priority P  schedule the --submit in band P (high|normal|low)
+      --connect-timeout MS  keep retrying the --submit connection (with
+                  exponential backoff) for up to MS milliseconds before
+                  giving up — covers the daemon's startup window
+                  [default: 10000]
+      --deadline-ms N  wall-clock budget for the submitted job in
+                  milliseconds; the daemon stops it at the next slice
+                  boundary past budget with a `deadline-exceeded` error
   -h, --help      this text
 ";
 
@@ -88,6 +97,8 @@ fn parse_args() -> Result<Args, String> {
         submit: None,
         tenant: None,
         priority: None,
+        connect_timeout_ms: 10_000,
+        deadline_ms: None,
     };
     let mut saw_workload = false;
     let mut it = std::env::args().skip(1);
@@ -143,6 +154,18 @@ fn parse_args() -> Result<Args, String> {
             "--submit" => args.submit = Some(value("--submit")?),
             "--tenant" => args.tenant = Some(value("--tenant")?),
             "--priority" => args.priority = Some(value("--priority")?),
+            "--connect-timeout" => {
+                args.connect_timeout_ms = value("--connect-timeout")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -172,6 +195,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.submit.is_none() && (args.tenant.is_some() || args.priority.is_some()) {
         return Err("--tenant and --priority only make sense with --submit".into());
+    }
+    if args.submit.is_none() && args.deadline_ms.is_some() {
+        return Err("--deadline-ms only makes sense with --submit".into());
     }
     if let Some(p) = &args.priority {
         if pei_types::wire::Priority::parse(p).is_none() {
@@ -205,23 +231,43 @@ fn submit_to_daemon(socket: &str, args: &Args) -> ! {
     recipe.seed = args.seed;
     recipe.budget = Some(args.budget);
 
-    // `host:port` → TCP, anything else → Unix socket path.
+    // `host:port` → TCP, anything else → Unix socket path. Connection
+    // refusals are retried with exponential backoff until
+    // --connect-timeout lapses: a daemon started a moment ago may not
+    // have bound its listener yet, and polling beats guessing a sleep.
     let tcp = socket.contains(':') && !socket.contains('/');
-    let (reader, mut writer): (Box<dyn Read>, Box<dyn Write>) = if tcp {
-        let stream = std::net::TcpStream::connect(socket).unwrap_or_else(|e| {
-            eprintln!("error: cannot reach pei-serve at tcp {socket}: {e}");
-            std::process::exit(1);
-        });
-        stream.set_nodelay(true).ok();
-        let w = stream.try_clone().expect("socket handles clone");
-        (Box::new(stream), Box::new(w))
-    } else {
-        let stream = std::os::unix::net::UnixStream::connect(socket).unwrap_or_else(|e| {
-            eprintln!("error: cannot reach pei-serve at {socket}: {e}");
-            std::process::exit(1);
-        });
-        let w = stream.try_clone().expect("socket handles clone");
-        (Box::new(stream), Box::new(w))
+    let connect = || -> std::io::Result<(Box<dyn Read>, Box<dyn Write>)> {
+        if tcp {
+            let stream = std::net::TcpStream::connect(socket)?;
+            stream.set_nodelay(true).ok();
+            let w = stream.try_clone()?;
+            Ok((Box::new(stream), Box::new(w)))
+        } else {
+            let stream = std::os::unix::net::UnixStream::connect(socket)?;
+            let w = stream.try_clone()?;
+            Ok((Box::new(stream), Box::new(w)))
+        }
+    };
+    let give_up_at =
+        std::time::Instant::now() + std::time::Duration::from_millis(args.connect_timeout_ms);
+    let mut backoff = std::time::Duration::from_millis(10);
+    let (reader, mut writer) = loop {
+        match connect() {
+            Ok(pair) => break pair,
+            Err(e) => {
+                let now = std::time::Instant::now();
+                if now >= give_up_at {
+                    eprintln!(
+                        "error: cannot reach pei-serve at {}{socket} after {} ms: {e}",
+                        if tcp { "tcp " } else { "" },
+                        args.connect_timeout_ms
+                    );
+                    std::process::exit(1);
+                }
+                std::thread::sleep(backoff.min(give_up_at - now));
+                backoff = (backoff * 2).min(std::time::Duration::from_millis(500));
+            }
+        }
     };
     writeln!(
         writer,
@@ -235,6 +281,7 @@ fn submit_to_daemon(socket: &str, args: &Args) -> ! {
                 .as_deref()
                 .and_then(Priority::parse)
                 .unwrap_or_default(),
+            deadline_ms: args.deadline_ms,
         }
         .encode()
     )
@@ -389,6 +436,8 @@ fn args_from_meta(snap: &Snapshot, resume_path: &str) -> Result<Args, String> {
         submit: None,
         tenant: None,
         priority: None,
+        connect_timeout_ms: 10_000,
+        deadline_ms: None,
     })
 }
 
